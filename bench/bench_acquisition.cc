@@ -1,0 +1,61 @@
+// Ablation (Section 4.4, "Modeling Other Costs"): folding sensor
+// acquisition energy into the optimization. As measuring gets more
+// expensive relative to communicating, the acquisition-aware planner
+// visits fewer nodes under the same budget — and local filtering's
+// visit-many-forward-few strategy loses some of its edge.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/lp_filter_planner.h"
+#include "src/data/contention.h"
+
+namespace prospector {
+namespace {
+
+constexpr int kTop = 10;
+constexpr double kBudgetMj = 14.0;
+constexpr int kQueryEpochs = 60;
+
+void Run() {
+  data::ContentionZoneOptions opts;
+  opts.num_zones = 6;
+  opts.nodes_per_zone = kTop;
+  opts.num_background = 40;
+  Rng rng(181);
+  auto scenario = data::BuildContentionScenario(opts, &rng).value();
+  const net::Topology& topo = scenario.topology;
+  sampling::SampleSet samples =
+      sampling::SampleSet::ForTopK(topo.num_nodes(), kTop);
+  for (int s = 0; s < 20; ++s) samples.Add(scenario.field.Sample(&rng));
+  bench::TruthFn truth_fn = [&scenario](Rng* r) {
+    return scenario.field.Sample(r);
+  };
+
+  std::printf("Acquisition-cost ablation (contention workload, k=%d, "
+              "budget=%.0f mJ)\n",
+              kTop, kBudgetMj);
+  bench::PrintHeader("LP+LF under rising sensing cost",
+                     {"acq_mJ", "visited", "energy_mJ", "accuracy_pct"});
+
+  for (double acq : {0.0, 0.1, 0.2, 0.4, 0.8}) {
+    core::PlannerContext ctx;
+    ctx.topology = &topo;
+    ctx.energy.acquisition_mj = acq;
+    core::LpFilterPlanner planner;
+    auto plan = planner.Plan(ctx, samples, core::PlanRequest{kTop, kBudgetMj});
+    if (!plan.ok()) continue;
+    bench::EvalResult r = bench::EvaluatePlan(*plan, topo, ctx.energy,
+                                              truth_fn, kQueryEpochs, 182);
+    bench::PrintRow({acq, double(plan->CountVisitedNodes(topo)),
+                     r.avg_energy_mj, 100.0 * r.avg_accuracy});
+  }
+}
+
+}  // namespace
+}  // namespace prospector
+
+int main() {
+  prospector::Run();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Section 2 cost-table reproduction: the MICA2-derived communication
+// constants the whole evaluation runs on, plus derived quantities that
+// frame the approximate-vs-exact trade-off.
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "src/net/energy_model.h"
+
+namespace prospector {
+namespace {
+
+void Run() {
+  net::EnergyModel e;
+  std::printf("Section 2: communication energy model (MICA2-derived)\n\n");
+  std::printf("%-34s %10.4f mJ\n", "per-message cost (c_m)", e.per_message_mj);
+  std::printf("%-34s %10.4f mJ/byte\n", "per-byte cost (c_b)", e.per_byte_mj);
+  std::printf("%-34s %10d bytes\n", "bytes per transported value",
+              e.bytes_per_value);
+  std::printf("%-34s %10.4f mJ\n", "per-value cost (c_v)", e.PerValueCost());
+  std::printf("%-34s %10.4f mJ\n", "empty trigger broadcast",
+              e.BroadcastCost());
+  std::printf("\nmessage cost by payload:\n");
+  std::printf("%12s %12s\n", "values", "cost_mJ");
+  for (int v : {0, 1, 2, 5, 10, 20, 50}) {
+    std::printf("%12d %12.4f\n", v, e.MessageCost(v));
+  }
+  std::printf("\nc_m / c_v ratio: %.1f — contacting a node dominates small "
+              "messages,\nwhich is what makes approximate node-subset plans "
+              "pay off;\nvalue transport stays non-negligible, which is what "
+              "makes local\nfiltering pay off.\n",
+              e.per_message_mj / e.PerValueCost());
+}
+
+}  // namespace
+}  // namespace prospector
+
+int main() {
+  prospector::Run();
+  return 0;
+}

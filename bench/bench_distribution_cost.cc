@@ -1,0 +1,63 @@
+// "Other Results" reproduction: the cost of installing a query plan in the
+// initial distribution phase is on the order of one collection phase, and
+// amortizes away under the install-once / run-many-times usage the paper
+// assumes; subsequent trigger broadcasts are far cheaper than either.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/lp_filter_planner.h"
+#include "src/data/gaussian_field.h"
+
+namespace prospector {
+namespace {
+
+constexpr int kNodes = 100;
+constexpr int kTop = 10;
+
+void Run() {
+  Rng rng(101);
+  net::GeometricNetworkOptions geo;
+  geo.num_nodes = kNodes;
+  geo.radio_range = 22.0;
+  auto topo = net::BuildConnectedGeometricNetwork(geo, &rng).value();
+  data::GaussianField field =
+      data::GaussianField::Random(kNodes, 40, 60, 1, 16, &rng);
+  sampling::SampleSet samples = sampling::SampleSet::ForTopK(kNodes, kTop);
+  for (int s = 0; s < 25; ++s) samples.Add(field.Sample(&rng));
+
+  core::PlannerContext ctx;
+  ctx.topology = &topo;
+
+  std::printf("Distribution-phase costs (n=%d, k=%d)\n", kNodes, kTop);
+  bench::PrintHeader("install vs trigger vs collection",
+                     {"budget_mJ", "install_mJ", "trigger_mJ",
+                      "collection_mJ", "amortized_10x", "amortized_100x"});
+
+  for (double b : {6.0, 12.0, 24.0}) {
+    core::LpFilterPlanner planner;
+    core::PlanRequest req{kTop, b};
+    auto plan = planner.Plan(ctx, samples, req);
+    if (!plan.ok()) continue;
+    net::NetworkSimulator sim(&topo, ctx.energy);
+    const double install = core::ChargeInstallCost(*plan, &sim);
+    const double trigger = core::ExpectedTriggerCost(*plan, sim);
+    const double collect = core::ExpectedCollectionCost(*plan, sim);
+    const double per_query10 = (install + 10 * (trigger + collect)) / 10;
+    const double per_query100 = (install + 100 * (trigger + collect)) / 100;
+    bench::PrintRow({b, install, trigger, collect, per_query10, per_query100});
+  }
+
+  std::printf("\nFull-sweep sampling cost (exploration step): one sample "
+              "costs as much as a NAIVE-n collection;\nwith 25 samples "
+              "re-collected every few hundred queries the overhead per "
+              "query is small.\n");
+}
+
+}  // namespace
+}  // namespace prospector
+
+int main() {
+  prospector::Run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation (Section 4.4): failure-aware planning. Transient edge failures
+// force the reliable protocol to re-route, doubling a message's cost.
+// Folding the expected inflation into the planner's edge costs keeps the
+// realized energy within budget; a failure-blind planner overshoots it.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/lp_filter_planner.h"
+#include "src/data/gaussian_field.h"
+
+namespace prospector {
+namespace {
+
+constexpr int kNodes = 80;
+constexpr int kTop = 10;
+constexpr int kQueryEpochs = 200;
+constexpr double kBudgetMj = 12.0;
+
+void Run() {
+  Rng rng(111);
+  net::GeometricNetworkOptions geo;
+  geo.num_nodes = kNodes;
+  geo.radio_range = 24.0;
+  auto topo = net::BuildConnectedGeometricNetwork(geo, &rng).value();
+  data::GaussianField field =
+      data::GaussianField::Random(kNodes, 40, 60, 1, 16, &rng);
+  sampling::SampleSet samples = sampling::SampleSet::ForTopK(kNodes, kTop);
+  for (int s = 0; s < 25; ++s) samples.Add(field.Sample(&rng));
+
+  std::printf("Failure ablation (n=%d, k=%d, budget=%.1f mJ, %d epochs)\n",
+              kNodes, kTop, kBudgetMj, kQueryEpochs);
+  bench::PrintHeader("failure-aware vs failure-blind planning",
+                     {"fail_prob", "aware_mJ", "aware_pct", "blind_mJ",
+                      "blind_pct"});
+
+  for (double p : {0.0, 0.1, 0.2, 0.35, 0.5}) {
+    net::FailureModel failures;
+    failures.edge_failure_prob.assign(kNodes, p);
+    failures.reroute_cost_factor = 2.0;
+
+    bench::TruthFn truth_fn = [&field](Rng* r) { return field.Sample(r); };
+
+    // Aware: plans with inflated edge costs; blind: plans as if reliable.
+    core::PlannerContext aware_ctx;
+    aware_ctx.topology = &topo;
+    aware_ctx.failures = failures;
+    core::PlannerContext blind_ctx;
+    blind_ctx.topology = &topo;
+
+    core::LpFilterPlanner aware_planner, blind_planner;
+    core::PlanRequest req{kTop, kBudgetMj};
+    auto aware_plan = aware_planner.Plan(aware_ctx, samples, req);
+    auto blind_plan = blind_planner.Plan(blind_ctx, samples, req);
+    if (!aware_plan.ok() || !blind_plan.ok()) continue;
+
+    // Both execute in the same failing world.
+    bench::EvalResult aware = bench::EvaluatePlan(
+        *aware_plan, topo, aware_ctx.energy, truth_fn, kQueryEpochs, 112,
+        failures);
+    bench::EvalResult blind = bench::EvaluatePlan(
+        *blind_plan, topo, blind_ctx.energy, truth_fn, kQueryEpochs, 112,
+        failures);
+    bench::PrintRow({p, aware.avg_energy_mj, 100.0 * aware.avg_accuracy,
+                     blind.avg_energy_mj, 100.0 * blind.avg_accuracy});
+  }
+  std::printf("\n(The blind plan's realized energy overshoots the budget as "
+              "failures rise;\nthe aware plan trades a little accuracy to "
+              "stay within it.)\n");
+}
+
+}  // namespace
+}  // namespace prospector
+
+int main() {
+  prospector::Run();
+  return 0;
+}

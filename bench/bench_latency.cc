@@ -1,0 +1,91 @@
+// Extension bench (latency is not evaluated in the paper): wall-clock
+// duration of one collection phase under the generic-MAC timing model,
+// comparing NAIVE-k against budgeted LP+LF plans and the in-network
+// cluster aggregation. Approximate plans also win on latency: fewer and
+// smaller messages serialize on fewer shared radios.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/cluster_query.h"
+#include "src/core/latency.h"
+#include "src/core/lp_filter_planner.h"
+#include "src/core/naive.h"
+#include "src/data/gaussian_field.h"
+
+namespace prospector {
+namespace {
+
+constexpr int kTop = 10;
+
+void Run() {
+  std::printf("Collection-phase latency (generic MAC timing; extension "
+              "beyond the paper)\n");
+  bench::PrintHeader("latency by plan",
+                     {"nodes", "naivek_s", "lp_lf_tight_s", "lp_lf_rich_s",
+                      "cluster_agg_s"});
+
+  core::RadioTiming timing;
+  for (int n : {40, 80, 160}) {
+    Rng rng(150 + n);
+    net::GeometricNetworkOptions geo;
+    geo.num_nodes = n;
+    geo.radio_range = n >= 160 ? 18.0 : 24.0;
+    auto topo_or = net::BuildConnectedGeometricNetwork(geo, &rng);
+    if (!topo_or.ok()) continue;
+    const net::Topology& topo = topo_or.value();
+    data::GaussianField field =
+        data::GaussianField::Random(n, 40, 60, 1, 16, &rng);
+    sampling::SampleSet samples = sampling::SampleSet::ForTopK(n, kTop);
+    for (int s = 0; s < 20; ++s) samples.Add(field.Sample(&rng));
+    core::PlannerContext ctx;
+    ctx.topology = &topo;
+
+    const core::QueryPlan naive = core::MakeNaiveKPlan(topo, kTop);
+    core::LpFilterPlanner planner;
+    auto tight = planner.Plan(ctx, samples, core::PlanRequest{kTop, 6.0});
+    auto rich = planner.Plan(ctx, samples, core::PlanRequest{kTop, 20.0});
+    if (!tight.ok() || !rich.ok()) continue;
+
+    // Cluster aggregation: derive bandwidths = #partials per edge (its
+    // latency model input), for a 3x3 grid clustering.
+    core::Clustering clusters = core::ClusterByGrid(topo, 3, 3);
+    std::vector<int> agg_bw(n, 0);
+    {
+      std::vector<std::vector<char>> present(n,
+                                             std::vector<char>(
+                                                 clusters.num_clusters, 0));
+      for (int u : topo.PostOrder()) {
+        if (clusters.cluster_of_node[u] >= 0) {
+          present[u][clusters.cluster_of_node[u]] = 1;
+        }
+        for (int c : topo.children(u)) {
+          for (int cl = 0; cl < clusters.num_clusters; ++cl) {
+            present[u][cl] |= present[c][cl];
+          }
+        }
+        if (u != topo.root()) {
+          for (int cl = 0; cl < clusters.num_clusters; ++cl) {
+            agg_bw[u] += present[u][cl];
+          }
+        }
+      }
+    }
+    core::QueryPlan agg = core::QueryPlan::Bandwidth(kTop, agg_bw);
+
+    bench::PrintRow(
+        {double(n),
+         core::EstimateCollectionLatency(naive, topo, ctx.energy, timing),
+         core::EstimateCollectionLatency(*tight, topo, ctx.energy, timing),
+         core::EstimateCollectionLatency(*rich, topo, ctx.energy, timing),
+         core::EstimateCollectionLatency(agg, topo, ctx.energy, timing)});
+  }
+}
+
+}  // namespace
+}  // namespace prospector
+
+int main() {
+  prospector::Run();
+  return 0;
+}

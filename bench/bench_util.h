@@ -1,0 +1,95 @@
+#ifndef PROSPECTOR_BENCH_BENCH_UTIL_H_
+#define PROSPECTOR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/core/plan.h"
+#include "src/core/planner.h"
+#include "src/net/simulator.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace prospector {
+namespace bench {
+
+/// Draws one epoch of ground-truth readings.
+using TruthFn = std::function<std::vector<double>(Rng*)>;
+
+/// Averaged execution metrics of one plan over repeated query epochs.
+struct EvalResult {
+  double avg_energy_mj = 0.0;    ///< trigger + collection per query
+  double avg_accuracy = 0.0;     ///< top-k recall
+  double install_energy_mj = 0.0;
+};
+
+/// Executes `plan` against `epochs` freshly drawn truths, averaging energy
+/// (trigger + collection, per the paper's reporting) and top-k recall.
+inline EvalResult EvaluatePlan(const core::QueryPlan& plan,
+                               const net::Topology& topo,
+                               const net::EnergyModel& energy,
+                               const TruthFn& truth_fn, int epochs,
+                               uint64_t seed,
+                               const net::FailureModel& failures = {}) {
+  Rng rng(seed);
+  net::NetworkSimulator sim(&topo, energy, failures, seed ^ 0xbeef);
+  EvalResult out;
+  out.install_energy_mj = core::ChargeInstallCost(plan, &sim);
+  sim.ResetStats();
+  RunningStats acc, joule;
+  for (int q = 0; q < epochs; ++q) {
+    const std::vector<double> truth = truth_fn(&rng);
+    core::ExecutionResult r =
+        core::CollectionExecutor::Execute(plan, truth, &sim);
+    acc.Add(core::TopKRecall(r, truth, plan.k));
+    joule.Add(r.total_energy_mj());
+    sim.ResetStats();
+  }
+  out.avg_energy_mj = joule.mean();
+  out.avg_accuracy = acc.mean();
+  return out;
+}
+
+/// Plans with `planner` under `budget`, then evaluates. Returns false and
+/// prints a note when planning fails (e.g. infeasible proof budgets).
+inline bool PlanAndEvaluate(core::Planner* planner,
+                            const core::PlannerContext& ctx,
+                            const sampling::SampleSet& samples, int k,
+                            double budget_mj, const TruthFn& truth_fn,
+                            int epochs, uint64_t seed, EvalResult* out) {
+  core::PlanRequest req;
+  req.k = k;
+  req.energy_budget_mj = budget_mj;
+  auto plan = planner->Plan(ctx, samples, req);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "# %s @ %.1f mJ: %s\n", planner->name().c_str(),
+                 budget_mj, plan.status().ToString().c_str());
+    return false;
+  }
+  *out = EvaluatePlan(*plan, *ctx.topology, ctx.energy, truth_fn, epochs, seed,
+                      ctx.failures);
+  return true;
+}
+
+/// Fixed-width table printing helpers shared by the figure benches.
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& columns) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const auto& c : columns) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) std::printf("%16s", "----");
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::vector<double>& values) {
+  for (double v : values) std::printf("%16.3f", v);
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace prospector
+
+#endif  // PROSPECTOR_BENCH_BENCH_UTIL_H_

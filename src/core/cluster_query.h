@@ -1,0 +1,84 @@
+#ifndef PROSPECTOR_CORE_CLUSTER_QUERY_H_
+#define PROSPECTOR_CORE_CLUSTER_QUERY_H_
+
+#include <vector>
+
+#include "src/core/reading.h"
+#include "src/net/simulator.h"
+#include "src/net/topology.h"
+#include "src/sampling/sample_set.h"
+
+namespace prospector {
+namespace core {
+
+/// Section 1's tailored query: "the researchers might want to group nearby
+/// feeders into clusters for purposes of observation, and obtain the top k
+/// clusters ordered by average bird count. Nevertheless, the basic form of
+/// the query remains top-k."
+///
+/// This module provides (a) geometric clustering helpers, (b) an exact
+/// TAG-style in-network aggregation executor (each node merges per-cluster
+/// (sum, count) partials from its children — the in-network aggregation
+/// substrate of Madden et al. the paper builds on), and (c) the
+/// contributor function that lets every PROSPECTOR planner optimize
+/// approximate cluster-top-k plans through the generalized sample matrix.
+struct Clustering {
+  /// Cluster id per node; -1 marks unclustered nodes (e.g. the root),
+  /// which never contribute to the answer.
+  std::vector<int> cluster_of_node;
+  int num_clusters = 0;
+
+  int cluster(int node) const { return cluster_of_node[node]; }
+};
+
+/// Clusters nodes by a cells_x x cells_y grid over their physical
+/// positions (requires a geometric topology). Empty cells are skipped, so
+/// cluster ids are dense. The root stays unclustered.
+Clustering ClusterByGrid(const net::Topology& topology, int cells_x,
+                         int cells_y);
+
+/// Per-cluster averages of one epoch; NaN for clusters with no readings.
+std::vector<double> ClusterAverages(const Clustering& clustering,
+                                    const std::vector<double>& values);
+
+/// The k clusters with the highest average (ties toward lower id).
+std::vector<int> TopClusters(const std::vector<double>& averages, int k);
+
+/// Contributor for sampling-based planning: every member of a top-k
+/// cluster contributes (Q[j][i] = 1), so planners learn which regions'
+/// readings the answer needs.
+sampling::ContributorFn ClusterTopKContributor(Clustering clustering, int k);
+
+/// Result of the exact in-network aggregation.
+struct ClusterAggregateResult {
+  std::vector<double> cluster_avg;
+  std::vector<int> top_clusters;
+  double energy_mj = 0.0;
+  int messages = 0;
+};
+
+/// Exact cluster top-k via in-network aggregation: one bottom-up pass in
+/// which every node forwards one (sum, count) partial per cluster present
+/// in its subtree. Each partial occupies one value slot of the energy
+/// model. Minimum message count, and message sizes bounded by the number
+/// of clusters rather than the subtree size — the classic aggregation
+/// saving.
+ClusterAggregateResult ExecuteClusterAggregate(const Clustering& clustering,
+                                               const std::vector<double>& truth,
+                                               int k,
+                                               net::NetworkSimulator* sim);
+
+/// Estimates the top-k clusters from whatever readings an approximate plan
+/// delivered (averaging the arrived members per cluster).
+std::vector<int> EstimateTopClusters(const Clustering& clustering,
+                                     const std::vector<Reading>& arrived,
+                                     int k);
+
+/// |estimated ∩ true| / |true| for cluster id lists.
+double ClusterRecall(const std::vector<int>& estimated,
+                     const std::vector<int>& truth);
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_CLUSTER_QUERY_H_

@@ -1,0 +1,45 @@
+#ifndef PROSPECTOR_CORE_EVENT_SIM_H_
+#define PROSPECTOR_CORE_EVENT_SIM_H_
+
+#include <vector>
+
+#include "src/core/latency.h"
+#include "src/core/plan.h"
+#include "src/net/failure.h"
+#include "src/net/topology.h"
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace core {
+
+/// Outcome of a discrete-event run of one collection phase.
+struct EventSimResult {
+  /// Time until the root has received every message, in seconds.
+  double completion_s = 0.0;
+  /// Per-node radio airtime (sending + receiving), seconds.
+  std::vector<double> node_airtime_s;
+  /// Per-node time spent ready-to-send but blocked on a busy radio.
+  std::vector<double> node_blocked_s;
+  int transmissions = 0;
+  int retransmissions = 0;
+};
+
+/// Discrete-event simulation of a collection phase under the generic MAC
+/// model: half-duplex radios, one transmission occupies both endpoints for
+/// its full duration, transmissions are scheduled greedily
+/// (earliest-feasible-start first). Without failures the completion time
+/// provably matches EstimateCollectionLatency's analytic recurrence — a
+/// cross-check both implementations are tested against. With a
+/// FailureModel, each transmission independently fails and is retried
+/// (geometric retransmission count), stretching airtime and latency.
+EventSimResult SimulateCollectionPhase(const QueryPlan& plan,
+                                       const net::Topology& topology,
+                                       const net::EnergyModel& energy,
+                                       const RadioTiming& timing,
+                                       const net::FailureModel& failures = {},
+                                       Rng* rng = nullptr);
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_EVENT_SIM_H_

@@ -1,0 +1,37 @@
+#include "src/core/exact.h"
+
+namespace prospector {
+namespace core {
+
+Result<ExactResult> RunProspectorExact(const PlannerContext& ctx,
+                                       const sampling::SampleSet& samples,
+                                       int k, double phase1_budget_mj,
+                                       const std::vector<double>& truth,
+                                       net::NetworkSimulator* sim,
+                                       const LpPlannerOptions& options) {
+  ProofPlanner planner(options);
+  PlanRequest request;
+  request.k = k;
+  request.energy_budget_mj = phase1_budget_mj;
+  auto plan = planner.Plan(ctx, samples, request);
+  if (!plan.ok()) return plan.status();
+
+  ExactResult result;
+  ProofExecutor executor(&plan.value(), sim);
+  ExecutionResult phase1 = executor.ExecutePhase1(truth);
+  result.phase1_energy_mj = phase1.total_energy_mj();
+  result.phase1_proven = phase1.proven_count;
+
+  if (phase1.proven_count >= std::min<int>(k, ctx.topology->num_nodes())) {
+    result.answer = phase1.answer;
+    return result;
+  }
+  result.needed_phase2 = true;
+  ExecutionResult phase2 = executor.ExecuteMopUp();
+  result.phase2_energy_mj = phase2.total_energy_mj();
+  result.answer = phase2.answer;
+  return result;
+}
+
+}  // namespace core
+}  // namespace prospector

@@ -1,0 +1,43 @@
+#ifndef PROSPECTOR_CORE_EXACT_H_
+#define PROSPECTOR_CORE_EXACT_H_
+
+#include <vector>
+
+#include "src/core/proof_executor.h"
+#include "src/core/proof_planner.h"
+
+namespace prospector {
+namespace core {
+
+/// Outcome of a PROSPECTOR Exact run.
+struct ExactResult {
+  /// Exact top-k, best-first (guaranteed regardless of sample accuracy).
+  std::vector<Reading> answer;
+  /// How many of the answer entries phase 1 already proved.
+  int phase1_proven = 0;
+  bool needed_phase2 = false;
+  double phase1_energy_mj = 0.0;
+  double phase2_energy_mj = 0.0;
+
+  double total_energy_mj() const {
+    return phase1_energy_mj + phase2_energy_mj;
+  }
+};
+
+/// PROSPECTOR Exact (Section 4.3): plan a proof-carrying phase 1 within
+/// `phase1_budget_mj`, execute it, and if the root fails to prove all k
+/// values, run the mop-up phase to retrieve the rest exactly. Sample
+/// knowledge only affects cost, never correctness.
+///
+/// Charges all messages (trigger + both phases) to `sim`.
+Result<ExactResult> RunProspectorExact(const PlannerContext& ctx,
+                                       const sampling::SampleSet& samples,
+                                       int k, double phase1_budget_mj,
+                                       const std::vector<double>& truth,
+                                       net::NetworkSimulator* sim,
+                                       const LpPlannerOptions& options = {});
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_EXACT_H_

@@ -1,0 +1,72 @@
+#include "src/core/executor.h"
+
+#include <algorithm>
+
+namespace prospector {
+namespace core {
+
+ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
+                                            const std::vector<double>& truth,
+                                            net::NetworkSimulator* sim,
+                                            bool include_trigger) {
+  const net::Topology& topo = sim->topology();
+  ExecutionResult result;
+  if (include_trigger) {
+    result.trigger_energy_mj = ChargeTriggerCost(plan, sim);
+  }
+
+  std::vector<std::vector<Reading>> inbox(topo.num_nodes());
+  double collection = 0.0;
+  for (int u : topo.PostOrder()) {
+    if (u == topo.root()) continue;
+    std::vector<Reading>& mine = inbox[u];
+    std::vector<Reading> outgoing;
+    if (plan.kind == PlanKind::kBandwidth) {
+      if (plan.bandwidth[u] <= 0) continue;
+      // Local filtering: own reading plus children's lists, keep top-b.
+      collection += sim->ChargeAcquisition(u);
+      mine.push_back({u, truth[u]});
+      SortReadings(&mine);
+      if (static_cast<int>(mine.size()) > plan.bandwidth[u]) {
+        mine.resize(plan.bandwidth[u]);
+      }
+      outgoing = std::move(mine);
+    } else {
+      // Node selection: forward everything; no filtering.
+      if (plan.chosen[u]) {
+        collection += sim->ChargeAcquisition(u);
+        mine.push_back({u, truth[u]});
+      }
+      if (mine.empty()) continue;
+      outgoing = std::move(mine);
+    }
+    collection += sim->Unicast(u, static_cast<int>(outgoing.size()));
+    std::vector<Reading>& up = inbox[topo.parent(u)];
+    up.insert(up.end(), outgoing.begin(), outgoing.end());
+  }
+  result.collection_energy_mj = collection;
+
+  result.arrived = std::move(inbox[topo.root()]);
+  result.arrived.push_back({topo.root(), truth[topo.root()]});
+  SortReadings(&result.arrived);
+  result.answer = result.arrived;
+  if (static_cast<int>(result.answer.size()) > plan.k) {
+    result.answer.resize(plan.k);
+  }
+  return result;
+}
+
+double TopKRecall(const ExecutionResult& result,
+                  const std::vector<double>& truth, int k) {
+  if (k <= 0) return 1.0;
+  const std::vector<Reading> expected = TrueTopK(truth, k);
+  std::vector<char> in_answer(truth.size(), 0);
+  for (const Reading& r : result.answer) in_answer[r.node] = 1;
+  int hit = 0;
+  for (const Reading& r : expected) hit += in_answer[r.node];
+  return static_cast<double>(hit) /
+         static_cast<double>(std::min<size_t>(k, truth.size()));
+}
+
+}  // namespace core
+}  // namespace prospector

@@ -1,0 +1,51 @@
+#ifndef PROSPECTOR_CORE_EXECUTOR_H_
+#define PROSPECTOR_CORE_EXECUTOR_H_
+
+#include <vector>
+
+#include "src/core/plan.h"
+#include "src/core/reading.h"
+#include "src/net/simulator.h"
+
+namespace prospector {
+namespace core {
+
+/// Outcome of executing a plan against one epoch of true readings.
+struct ExecutionResult {
+  /// What the query returns: the best min(k, arrived) readings at the
+  /// root, best-first.
+  std::vector<Reading> answer;
+  /// Everything that reached the root (including its own reading).
+  std::vector<Reading> arrived;
+  /// Proof-carrying plans: the first `proven_count` entries of `answer`
+  /// are proven to be the true top values of the whole network.
+  int proven_count = 0;
+  double trigger_energy_mj = 0.0;
+  double collection_energy_mj = 0.0;
+
+  double total_energy_mj() const {
+    return trigger_energy_mj + collection_energy_mj;
+  }
+};
+
+/// Executes non-proof plans (bandwidth plans with local filtering, and
+/// node-selection plans) over the simulator, charging every message.
+class CollectionExecutor {
+ public:
+  /// Runs one trigger wave plus one collection phase. The plan should be
+  /// Normalize()d. `truth` holds the current reading of every node.
+  static ExecutionResult Execute(const QueryPlan& plan,
+                                 const std::vector<double>& truth,
+                                 net::NetworkSimulator* sim,
+                                 bool include_trigger = true);
+};
+
+/// Fraction of the true top-k returned by the plan — the accuracy metric
+/// of Section 5 ("percentage of actual top-k values returned").
+double TopKRecall(const ExecutionResult& result,
+                  const std::vector<double>& truth, int k);
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_EXECUTOR_H_

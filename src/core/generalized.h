@@ -1,0 +1,64 @@
+#ifndef PROSPECTOR_CORE_GENERALIZED_H_
+#define PROSPECTOR_CORE_GENERALIZED_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/core/planner.h"
+
+namespace prospector {
+namespace core {
+
+/// Section 3 generalization: "this approach can be easily generalized to
+/// queries that return subsets of all sensor values, e.g., selection and
+/// quantile queries. In the general case, Q[j][i] = 1 if node i
+/// contributes to the answer in the j-th sample."
+///
+/// Build the SampleSet with the matching contributor
+/// (SampleSet::ForSelection / ForQuantile / any custom ContributorFn) and
+/// plan with any PROSPECTOR planner; the only top-k-specific parameter is
+/// the bandwidth cap k, which for subset queries becomes the largest
+/// answer size seen across the samples (with headroom for drift).
+
+/// Bandwidth cap for a subset query: the largest per-sample answer size,
+/// plus `headroom` to tolerate distribution drift. At least 1.
+inline int SubsetBandwidthCap(const sampling::SampleSet& samples,
+                              int headroom = 1) {
+  int cap = 1;
+  for (int j = 0; j < samples.num_samples(); ++j) {
+    cap = std::max(cap, static_cast<int>(samples.ones(j).size()));
+  }
+  return cap + headroom;
+}
+
+/// Plans a subset (selection/quantile/custom) query with `planner`.
+inline Result<QueryPlan> PlanSubsetQuery(Planner* planner,
+                                         const PlannerContext& ctx,
+                                         const sampling::SampleSet& samples,
+                                         double energy_budget_mj,
+                                         int headroom = 1) {
+  PlanRequest req;
+  req.k = SubsetBandwidthCap(samples, headroom);
+  req.energy_budget_mj = energy_budget_mj;
+  return planner->Plan(ctx, samples, req);
+}
+
+/// Recall of a subset query: the fraction of true contributors whose
+/// readings reached the root. `contributors` are the true answer node ids
+/// for this epoch (from the same ContributorFn the samples used).
+inline double SubsetRecall(const ExecutionResult& result,
+                           const std::vector<int>& contributors,
+                           int num_nodes) {
+  if (contributors.empty()) return 1.0;
+  std::vector<char> arrived(num_nodes, 0);
+  for (const Reading& r : result.arrived) arrived[r.node] = 1;
+  int hit = 0;
+  for (int i : contributors) hit += arrived[i];
+  return static_cast<double>(hit) / static_cast<double>(contributors.size());
+}
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_GENERALIZED_H_

@@ -1,0 +1,42 @@
+#include "src/core/latency.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace prospector {
+namespace core {
+
+double EstimateCollectionLatency(const QueryPlan& plan,
+                                 const net::Topology& topology,
+                                 const net::EnergyModel& energy,
+                                 const RadioTiming& timing) {
+  const int n = topology.num_nodes();
+  // ready[u]: time at which u has received everything it needs.
+  std::vector<double> ready(n, 0.0);
+  // finish[u]: time at which u's own message is fully received upstream.
+  std::vector<double> finish(n, 0.0);
+
+  for (int u : topology.PostOrder()) {
+    // Serialize this node's transmitting children on its radio,
+    // earliest-ready first.
+    std::vector<int> senders;
+    for (int c : topology.children(u)) {
+      if (plan.bandwidth[c] > 0) senders.push_back(c);
+    }
+    std::sort(senders.begin(), senders.end(),
+              [&](int a, int b) { return ready[a] < ready[b]; });
+    double radio_free = 0.0;
+    for (int c : senders) {
+      const double start = std::max(ready[c], radio_free);
+      const double tx = timing.TransmissionSeconds(
+          plan.bandwidth[c] * energy.bytes_per_value);
+      finish[c] = start + tx;
+      radio_free = finish[c];
+    }
+    ready[u] = radio_free;
+  }
+  return ready[topology.root()];
+}
+
+}  // namespace core
+}  // namespace prospector

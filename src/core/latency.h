@@ -1,0 +1,42 @@
+#ifndef PROSPECTOR_CORE_LATENCY_H_
+#define PROSPECTOR_CORE_LATENCY_H_
+
+#include "src/core/plan.h"
+#include "src/net/energy_model.h"
+#include "src/net/topology.h"
+
+namespace prospector {
+namespace core {
+
+/// Radio timing for the generic MAC layer the simulator assumes
+/// (Section 5). Defaults approximate a MICA2 CC1000 radio.
+struct RadioTiming {
+  double bytes_per_second = 12800.0;
+  /// Preamble + header + handshake bytes preceding the content.
+  int header_bytes = 24;
+  /// MAC backoff / RX-TX turnaround per message.
+  double per_message_overhead_s = 0.015;
+
+  double TransmissionSeconds(int payload_bytes) const {
+    return per_message_overhead_s +
+           static_cast<double>(header_bytes + payload_bytes) /
+               bytes_per_second;
+  }
+};
+
+/// Estimated wall-clock duration of one collection phase (an *extension*
+/// beyond the paper, which reports only energy):
+///  * a node transmits only after every child's message has arrived;
+///  * siblings share their parent's radio, so their transmissions
+///    serialize (earliest-ready child first);
+///  * transmissions under different parents overlap (spatial reuse).
+/// Returns seconds until the root holds the complete result.
+double EstimateCollectionLatency(const QueryPlan& plan,
+                                 const net::Topology& topology,
+                                 const net::EnergyModel& energy,
+                                 const RadioTiming& timing);
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_LATENCY_H_

@@ -1,0 +1,176 @@
+#include "src/core/lp_filter_planner.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/plan_eval.h"
+#include "src/lp/model.h"
+
+namespace prospector {
+namespace core {
+
+Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
+                                        const sampling::SampleSet& samples,
+                                        const PlanRequest& request) {
+  const net::Topology& topo = *ctx.topology;
+  const int n = topo.num_nodes();
+  if (samples.num_nodes() != n) {
+    return Status::InvalidArgument("sample set does not match topology size");
+  }
+  const int S = samples.num_samples();
+
+  // Only edges that lie beneath some contributing node can ever deliver a
+  // hit; restrict the program to those.
+  std::vector<char> relevant(n, 0);
+  for (int j = 0; j < S; ++j) {
+    for (int i : samples.ones(j)) {
+      for (int e : topo.PathEdges(i)) relevant[e] = 1;
+    }
+  }
+
+  lp::Model model;
+  model.SetSense(lp::Sense::kMaximize);
+  std::vector<int> z(n, -1), b(n, -1);
+  for (int e = 1; e < n; ++e) {
+    if (!relevant[e]) continue;
+    z[e] = model.AddBinaryRelaxed(0.0);
+    const double ub = std::min(request.k, topo.subtree_size(e));
+    b[e] = model.AddVariable(0.0, ub, 0.0);
+    // Bandwidth requires the edge to be used (pays its per-message cost).
+    model.AddRow(lp::RowType::kLessEqual, 0.0, {{b[e], 1.0}, {z[e], -ub}});
+  }
+
+  // y variables and their rows.
+  std::vector<std::unordered_map<int, int>> y(S);  // j -> (node -> var)
+  for (int j = 0; j < S; ++j) {
+    std::unordered_map<int, std::vector<lp::Term>> bandwidth_terms;
+    for (int i : samples.ones(j)) {
+      if (i == topo.root()) continue;  // the root's value is free
+      const int yv = model.AddBinaryRelaxed(1.0);
+      y[j][i] = yv;
+      for (int e : topo.PathEdges(i)) {
+        // Line (7): returning i's value uses every edge above i.
+        model.AddRow(lp::RowType::kLessEqual, 0.0, {{yv, 1.0}, {z[e], -1.0}});
+        bandwidth_terms[e].push_back({yv, 1.0});
+      }
+    }
+    // Line (8): per-sample bandwidth constraint on every edge beneath
+    // which this sample has contributing nodes.
+    for (auto& [e, terms] : bandwidth_terms) {
+      std::vector<lp::Term> row = std::move(terms);
+      row.push_back({b[e], -1.0});
+      model.AddRow(lp::RowType::kLessEqual, 0.0, std::move(row));
+    }
+  }
+
+  // Line (6): the energy budget.
+  std::vector<lp::Term> cost_row;
+  for (int e = 1; e < n; ++e) {
+    if (z[e] < 0) continue;
+    cost_row.push_back({z[e], ctx.EdgeFixedCost(e) + ctx.NodeAcquisitionCost()});
+    cost_row.push_back({b[e], ctx.EdgePerValueCost(e)});
+  }
+  model.AddRow(lp::RowType::kLessEqual, request.energy_budget_mj, cost_row);
+
+  lp::SimplexSolver solver(options_.simplex);
+  auto solved = solver.Solve(model);
+  if (!solved.ok()) return solved.status();
+  if (solved->status != lp::SolveStatus::kOptimal) {
+    return Status::Internal(std::string("LP+LF solve failed: ") +
+                            lp::ToString(solved->status));
+  }
+  last_lp_objective_ = solved->objective;
+
+  // Integral bandwidths: round the y's, then give each edge the largest
+  // per-sample count of rounded entries beneath it.
+  std::vector<int> bw(n, 0);
+  for (int j = 0; j < S; ++j) {
+    std::unordered_map<int, int> count;
+    for (const auto& [i, yv] : y[j]) {
+      if (solved->values[yv] > options_.rounding_threshold) {
+        for (int e : topo.PathEdges(i)) ++count[e];
+      }
+    }
+    for (const auto& [e, c] : count) bw[e] = std::max(bw[e], c);
+  }
+
+  QueryPlan plan = QueryPlan::Bandwidth(request.k, std::move(bw));
+  plan.Normalize(topo);
+
+  // Budget repair: drop the bandwidth unit whose loss costs the fewest
+  // sample hits per mJ reclaimed, until the plan fits.
+  if (options_.repair_budget) {
+    net::NetworkSimulator cost_sim(&topo, ctx.energy, ctx.failures);
+    int hits = SampleHits(plan, topo, samples);
+    while (ExpectedCollectionCost(plan, cost_sim) > request.energy_budget_mj) {
+      int best_e = -1;
+      double best_score = 0.0;
+      int best_hits = 0;
+      for (int e = 1; e < n; ++e) {
+        if (plan.bandwidth[e] <= 0) continue;
+        QueryPlan trial = plan;
+        --trial.bandwidth[e];
+        trial.Normalize(topo);
+        const int trial_hits = SampleHits(trial, topo, samples);
+        const double saved = ExpectedCollectionCost(plan, cost_sim) -
+                             ExpectedCollectionCost(trial, cost_sim);
+        const double score =
+            static_cast<double>(hits - trial_hits) / std::max(saved, 1e-12);
+        if (best_e < 0 || score < best_score) {
+          best_e = e;
+          best_score = score;
+          best_hits = trial_hits;
+        }
+      }
+      if (best_e < 0) break;  // nothing left to trim
+      --plan.bandwidth[best_e];
+      plan.Normalize(topo);
+      hits = best_hits;
+    }
+  }
+
+  // Fill: conservative rounding can zero out scattered fractional mass and
+  // strand budget. Greedily grant one bandwidth unit along the path of the
+  // most frequently contributing nodes while the budget allows and hits
+  // improve.
+  if (options_.fill_budget) {
+    net::NetworkSimulator cost_sim(&topo, ctx.energy, ctx.failures);
+    std::vector<int> order;
+    for (int i = 1; i < n; ++i) {
+      if (samples.column_sums()[i] > 0) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int bnode) {
+      const auto& cs = samples.column_sums();
+      if (cs[a] != cs[bnode]) return cs[a] > cs[bnode];
+      return a < bnode;
+    });
+    int hits = SampleHits(plan, topo, samples);
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int i : order) {
+        QueryPlan trial = plan;
+        for (int e : topo.PathEdges(i)) {
+          trial.bandwidth[e] =
+              std::min(trial.bandwidth[e] + 1,
+                       std::min(request.k, topo.subtree_size(e)));
+        }
+        if (ExpectedCollectionCost(trial, cost_sim) >
+            request.energy_budget_mj) {
+          continue;
+        }
+        const int trial_hits = SampleHits(trial, topo, samples);
+        if (trial_hits > hits) {
+          plan = std::move(trial);
+          hits = trial_hits;
+          progress = true;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace core
+}  // namespace prospector

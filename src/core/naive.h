@@ -1,0 +1,43 @@
+#ifndef PROSPECTOR_CORE_NAIVE_H_
+#define PROSPECTOR_CORE_NAIVE_H_
+
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/core/plan.h"
+#include "src/core/reading.h"
+#include "src/net/simulator.h"
+
+namespace prospector {
+namespace core {
+
+/// NAIVE-k (Section 2): one bottom-up pass where every node forwards the
+/// top min(k, subtree size) values of its subtree. Minimum message count,
+/// large messages, always exact. Execute with CollectionExecutor.
+QueryPlan MakeNaiveKPlan(const net::Topology& topology, int k);
+
+/// Result of the pipelined NAIVE-1 execution.
+struct Naive1Result {
+  std::vector<Reading> answer;  ///< exact top-k, best-first
+  double energy_mj = 0.0;
+  int messages = 0;
+};
+
+/// NAIVE-1 (Section 2): pipelined exact top-k. Each node keeps a heap of
+/// its own value plus the most recent value from each child, and serves
+/// its parent one value per request. Every request and every one-value
+/// response is a separate message, so the per-message overhead dominates.
+///
+/// Message accounting: a request is an empty-body unicast down the edge; a
+/// response is a unicast carrying one value, or an empty "exhausted" reply
+/// after which the parent stops asking that child.
+class Naive1Executor {
+ public:
+  static Naive1Result Execute(const std::vector<double>& truth, int k,
+                              net::NetworkSimulator* sim);
+};
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_NAIVE_H_

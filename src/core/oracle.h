@@ -1,0 +1,29 @@
+#ifndef PROSPECTOR_CORE_ORACLE_H_
+#define PROSPECTOR_CORE_ORACLE_H_
+
+#include <vector>
+
+#include "src/core/plan.h"
+#include "src/net/topology.h"
+
+namespace prospector {
+namespace core {
+
+/// ORACLE (Section 5): a non-plausible baseline that knows the exact
+/// locations of the current top-k values and fetches exactly those — the
+/// cheapest conceivable approximate plan with 100% accuracy.
+QueryPlan MakeOraclePlan(const net::Topology& topology,
+                         const std::vector<double>& truth, int k);
+
+/// ORACLE PROOF (Section 5): knows the top-k locations but must still
+/// visit every node to furnish a proof. Each edge carries its subtree's
+/// top-k values plus one extra witness value (capped by subtree size) so
+/// every sibling constraint of Section 4.3 can be satisfied — the natural
+/// lower bound for exact proof-carrying plans.
+QueryPlan MakeOracleProofPlan(const net::Topology& topology,
+                              const std::vector<double>& truth, int k);
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_ORACLE_H_

@@ -1,0 +1,39 @@
+#include "src/core/plan_eval.h"
+
+#include <algorithm>
+
+namespace prospector {
+namespace core {
+
+int SampleHitsForSample(const QueryPlan& plan, const net::Topology& topology,
+                        const sampling::SampleSet& samples, int j) {
+  const int n = topology.num_nodes();
+  int hits = samples.Contributes(j, topology.root()) ? 1 : 0;
+  if (plan.kind == PlanKind::kNodeSelection) {
+    for (int i = 1; i < n; ++i) {
+      if (plan.chosen[i] && samples.Contributes(j, i)) ++hits;
+    }
+    return hits;
+  }
+  std::vector<int> f(n, 0);
+  for (int u : topology.PostOrder()) {
+    if (u == topology.root()) continue;
+    int avail = samples.Contributes(j, u) ? 1 : 0;
+    for (int c : topology.children(u)) avail += f[c];
+    f[u] = std::min(plan.bandwidth[u], avail);
+  }
+  for (int c : topology.children(topology.root())) hits += f[c];
+  return hits;
+}
+
+int SampleHits(const QueryPlan& plan, const net::Topology& topology,
+               const sampling::SampleSet& samples) {
+  int total = 0;
+  for (int j = 0; j < samples.num_samples(); ++j) {
+    total += SampleHitsForSample(plan, topology, samples, j);
+  }
+  return total;
+}
+
+}  // namespace core
+}  // namespace prospector

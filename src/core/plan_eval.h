@@ -1,0 +1,32 @@
+#ifndef PROSPECTOR_CORE_PLAN_EVAL_H_
+#define PROSPECTOR_CORE_PLAN_EVAL_H_
+
+#include "src/core/plan.h"
+#include "src/net/topology.h"
+#include "src/sampling/sample_set.h"
+
+namespace prospector {
+namespace core {
+
+/// Number of contributing values ("1-entries of Q") the plan would deliver
+/// to the root across all samples, assuming ideal local filtering.
+///
+/// Within any subtree, global top-k values are exactly the locally largest
+/// values (anything larger than a top-k member is itself a top-k member),
+/// so a node passing its top-b values forwards contributing values first.
+/// The count therefore satisfies the bottom-up recurrence
+///   f(u) = min(bandwidth[u], [u contributes] + sum_children f(c)),
+/// and the root collects sum_children f(c) plus its own contribution.
+/// This is the integral counterpart of the LP+LF objective, used for
+/// rounding repair and for tests.
+int SampleHits(const QueryPlan& plan, const net::Topology& topology,
+               const sampling::SampleSet& samples);
+
+/// SampleHits for one sample only.
+int SampleHitsForSample(const QueryPlan& plan, const net::Topology& topology,
+                        const sampling::SampleSet& samples, int j);
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_PLAN_EVAL_H_

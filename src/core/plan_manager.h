@@ -1,0 +1,97 @@
+#ifndef PROSPECTOR_CORE_PLAN_MANAGER_H_
+#define PROSPECTOR_CORE_PLAN_MANAGER_H_
+
+#include <optional>
+
+#include "src/core/plan.h"
+#include "src/core/plan_eval.h"
+#include "src/core/planner.h"
+#include "src/net/simulator.h"
+
+namespace prospector {
+namespace core {
+
+/// Long-running query maintenance (Section 4.4).
+///
+/// *Plan re-calculation*: disseminating a new plan is expensive, so the
+/// base station recomputes the optimal plan as samples drift but only
+/// disseminates it when it beats the installed plan's expected sample hits
+/// by a configurable margin.
+///
+/// *Re-sampling*: the confidence in the current model is measured by
+/// periodically running a proof-carrying plan (whose proven count reveals
+/// true accuracy); when observed accuracy drops below a floor, the
+/// exploration (full-sweep sampling) rate is boosted until accuracy
+/// recovers.
+struct PlanManagerOptions {
+  /// Fractional expected-hits improvement required to re-disseminate.
+  double improvement_threshold = 0.10;
+  /// Observed-accuracy floor below which re-sampling accelerates.
+  double min_accuracy = 0.90;
+  double base_explore_probability = 0.02;
+  double boosted_explore_probability = 0.20;
+};
+
+class PlanManager {
+ public:
+  PlanManager(Planner* planner, PlanRequest request,
+              PlanManagerOptions options = {})
+      : planner_(planner), request_(request), options_(options) {}
+
+  /// True once a plan is installed in the network.
+  bool has_plan() const { return plan_.has_value(); }
+  const QueryPlan& plan() const { return *plan_; }
+
+  /// Recomputes the optimal plan against the current samples; installs it
+  /// (charging dissemination to `sim`) if there is no plan yet or if it
+  /// improves expected sample hits by more than the threshold. Returns
+  /// whether a dissemination happened.
+  Result<bool> MaybeReplan(const PlannerContext& ctx,
+                           const sampling::SampleSet& samples,
+                           net::NetworkSimulator* sim) {
+    auto candidate = planner_->Plan(ctx, samples, request_);
+    if (!candidate.ok()) return candidate.status();
+    const int new_hits = SampleHits(*candidate, *ctx.topology, samples);
+    if (plan_.has_value()) {
+      const int cur_hits = SampleHits(*plan_, *ctx.topology, samples);
+      if (new_hits <=
+          cur_hits * (1.0 + options_.improvement_threshold)) {
+        return false;
+      }
+    }
+    plan_ = std::move(candidate.value());
+    ChargeInstallCost(*plan_, sim);
+    ++disseminations_;
+    return true;
+  }
+
+  /// Feeds an accuracy observation (e.g. proven fraction from a periodic
+  /// PROSPECTOR Proof run) into the re-sampling policy.
+  void ObserveAccuracy(double accuracy) {
+    last_accuracy_ = accuracy;
+    boosted_ = accuracy < options_.min_accuracy;
+  }
+
+  /// Current exploration (full network sweep) probability.
+  double explore_probability() const {
+    return boosted_ ? options_.boosted_explore_probability
+                    : options_.base_explore_probability;
+  }
+
+  int disseminations() const { return disseminations_; }
+  double last_accuracy() const { return last_accuracy_; }
+
+ private:
+  Planner* planner_;
+  PlanRequest request_;
+  PlanManagerOptions options_;
+  std::optional<QueryPlan> plan_;
+  int disseminations_ = 0;
+  double last_accuracy_ = 1.0;
+  bool boosted_ = false;
+};
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_PLAN_MANAGER_H_

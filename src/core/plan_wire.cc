@@ -1,0 +1,108 @@
+#include "src/core/plan_wire.h"
+
+#include <algorithm>
+
+namespace prospector {
+namespace core {
+namespace {
+
+uint8_t Cap255(int v) {
+  return static_cast<uint8_t>(std::clamp(v, 0, 255));
+}
+
+void PutVarint(std::vector<uint8_t>* out, uint32_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(const std::vector<uint8_t>& in, size_t* pos, uint32_t* out) {
+  uint32_t v = 0;
+  int shift = 0;
+  while (*pos < in.size() && shift <= 28) {
+    const uint8_t b = in[(*pos)++];
+    v |= static_cast<uint32_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+Subplan SubplanFor(const QueryPlan& plan, const net::Topology& topology,
+                   int node) {
+  Subplan sp;
+  sp.proof_carrying = plan.proof_carrying;
+  sp.node_selection = plan.kind == PlanKind::kNodeSelection;
+  sp.chosen = sp.node_selection && node < static_cast<int>(plan.chosen.size())
+                  ? plan.chosen[node] != 0
+                  : false;
+  sp.k = Cap255(plan.k);
+  sp.outgoing_bandwidth =
+      node == topology.root() ? 0 : Cap255(plan.bandwidth[node]);
+  for (int c : topology.children(node)) {
+    if (plan.UsesEdge(c)) {
+      sp.child_bandwidth.emplace_back(c, Cap255(plan.bandwidth[c]));
+    }
+  }
+  return sp;
+}
+
+std::vector<uint8_t> EncodeSubplan(const Subplan& sp) {
+  std::vector<uint8_t> out;
+  uint8_t flags = 0;
+  if (sp.proof_carrying) flags |= 1;
+  if (sp.node_selection) flags |= 2;
+  if (sp.chosen) flags |= 4;
+  out.push_back(flags);
+  out.push_back(sp.k);
+  out.push_back(sp.outgoing_bandwidth);
+  out.push_back(Cap255(static_cast<int>(sp.child_bandwidth.size())));
+  for (const auto& [child, bw] : sp.child_bandwidth) {
+    PutVarint(&out, static_cast<uint32_t>(child));
+    out.push_back(bw);
+  }
+  return out;
+}
+
+Result<Subplan> DecodeSubplan(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 4) {
+    return Status::InvalidArgument("subplan too short");
+  }
+  Subplan sp;
+  sp.proof_carrying = bytes[0] & 1;
+  sp.node_selection = bytes[0] & 2;
+  sp.chosen = bytes[0] & 4;
+  sp.k = bytes[1];
+  sp.outgoing_bandwidth = bytes[2];
+  const int m = bytes[3];
+  size_t pos = 4;
+  for (int i = 0; i < m; ++i) {
+    uint32_t child = 0;
+    if (!GetVarint(bytes, &pos, &child) || pos >= bytes.size() + 0) {
+      return Status::InvalidArgument("truncated subplan child list");
+    }
+    if (pos >= bytes.size()) {
+      return Status::InvalidArgument("truncated subplan bandwidth");
+    }
+    sp.child_bandwidth.emplace_back(static_cast<int>(child), bytes[pos++]);
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes in subplan");
+  }
+  return sp;
+}
+
+int SubplanWireBytes(const QueryPlan& plan, const net::Topology& topology,
+                     int node) {
+  return static_cast<int>(EncodeSubplan(SubplanFor(plan, topology, node)).size());
+}
+
+}  // namespace core
+}  // namespace prospector

@@ -1,0 +1,51 @@
+#ifndef PROSPECTOR_CORE_PLAN_WIRE_H_
+#define PROSPECTOR_CORE_PLAN_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/plan.h"
+#include "src/net/topology.h"
+#include "src/util/status.h"
+
+namespace prospector {
+namespace core {
+
+/// Wire encoding of query plans — what the initial distribution phase
+/// actually ships (Section 2: "each node sends a subplan to each of its
+/// children using a unicast message ... each node stores its part of the
+/// plan, i.e., how many values it expects from each of its children and
+/// how many values need to be returned to its parent").
+///
+/// Subplan layout (byte-exact, little-endian):
+///   [0]    flags: bit0 proof-carrying, bit1 node-selection, bit2 chosen
+///   [1]    k (uint8, capped at 255)
+///   [2]    own outgoing bandwidth (uint8, capped)
+///   [3]    number of participating children m (uint8)
+///   then m x { varint child id, uint8 child bandwidth }
+/// Varints are LEB128 (1 byte for ids < 128 — the common case).
+struct Subplan {
+  bool proof_carrying = false;
+  bool node_selection = false;
+  bool chosen = false;  ///< node-selection plans: acquire own reading?
+  uint8_t k = 0;
+  uint8_t outgoing_bandwidth = 0;
+  std::vector<std::pair<int, uint8_t>> child_bandwidth;
+};
+
+/// Extracts the subplan node `node` must store.
+Subplan SubplanFor(const QueryPlan& plan, const net::Topology& topology,
+                   int node);
+
+/// Serializes / parses the wire form.
+std::vector<uint8_t> EncodeSubplan(const Subplan& subplan);
+Result<Subplan> DecodeSubplan(const std::vector<uint8_t>& bytes);
+
+/// Exact wire size of node's subplan message body, in bytes.
+int SubplanWireBytes(const QueryPlan& plan, const net::Topology& topology,
+                     int node);
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_PLAN_WIRE_H_

@@ -1,0 +1,63 @@
+#ifndef PROSPECTOR_CORE_PLANNER_H_
+#define PROSPECTOR_CORE_PLANNER_H_
+
+#include <string>
+
+#include "src/core/plan.h"
+#include "src/net/energy_model.h"
+#include "src/net/failure.h"
+#include "src/net/topology.h"
+#include "src/sampling/sample_set.h"
+#include "src/util/status.h"
+
+namespace prospector {
+namespace core {
+
+/// Everything a planner may consult about the deployment. Edge costs are
+/// failure-inflated expectations (Section 4.4).
+struct PlannerContext {
+  const net::Topology* topology = nullptr;
+  net::EnergyModel energy;
+  net::FailureModel failures;
+
+  /// Expected cost of a message with `num_values` readings on `child_edge`.
+  double EdgeMessageCost(int child_edge, int num_values) const {
+    return energy.MessageCost(num_values) *
+           failures.ExpectedCostFactor(child_edge);
+  }
+  /// Expected fixed (per-message) component on this edge.
+  double EdgeFixedCost(int child_edge) const {
+    return energy.per_message_mj * failures.ExpectedCostFactor(child_edge);
+  }
+  /// Expected marginal cost of one extra value on this edge.
+  double EdgePerValueCost(int child_edge) const {
+    return energy.PerValueCost() * failures.ExpectedCostFactor(child_edge);
+  }
+  /// Cost of the measurement a visited node must take (Section 4.4).
+  double NodeAcquisitionCost() const { return energy.acquisition_mj; }
+};
+
+/// What the user asked for.
+struct PlanRequest {
+  int k = 10;
+  /// Energy allowance for one collection phase, in mJ. The planner returns
+  /// the highest-expected-accuracy plan whose expected collection cost
+  /// stays within this budget.
+  double energy_budget_mj = 0.0;
+};
+
+/// Common interface of the PROSPECTOR planning algorithms: given past
+/// samples and an energy budget, produce an executable plan.
+class Planner {
+ public:
+  virtual ~Planner() = default;
+  virtual Result<QueryPlan> Plan(const PlannerContext& ctx,
+                                 const sampling::SampleSet& samples,
+                                 const PlanRequest& request) = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_PLANNER_H_

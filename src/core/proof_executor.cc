@@ -1,0 +1,229 @@
+#include "src/core/proof_executor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace prospector {
+namespace core {
+namespace {
+
+// Strictly-between range predicate under the ranking order.
+bool InRange(const Reading& r, const Reading& lo, const Reading& hi) {
+  return ReadingRanksHigher(r, lo) && ReadingRanksHigher(hi, r);
+}
+
+// Bytes of a mop-up request payload: count + two range bounds.
+constexpr int kMopUpRequestBytes = 12;
+
+}  // namespace
+
+Reading MinusInfinityReading() {
+  return {std::numeric_limits<int>::max(),
+          -std::numeric_limits<double>::infinity()};
+}
+
+Reading PlusInfinityReading() {
+  return {-1, std::numeric_limits<double>::infinity()};
+}
+
+ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
+                                             bool include_trigger) {
+  const net::Topology& topo = sim_->topology();
+  const int n = topo.num_nodes();
+  ExecutionResult result;
+  if (include_trigger) {
+    result.trigger_energy_mj = ChargeTriggerCost(*plan_, sim_);
+  }
+
+  retrieved_.assign(n, {});
+  proven_count_.assign(n, 0);
+  sent_count_.assign(n, 0);
+  sent_proven_.assign(n, 0);
+  worst_proven_sent_.assign(n, Reading{});
+  std::vector<std::vector<Reading>> sent(n);   // what each node passed up
+  std::vector<int>& sent_proven = sent_proven_;
+
+  double collection = 0.0;
+  for (int u : topo.PostOrder()) {
+    // Step 1+2: own reading plus children's lists, sorted best-first.
+    std::vector<Reading>& mem = retrieved_[u];
+    if (u != topo.root()) collection += sim_->ChargeAcquisition(u);
+    mem.push_back({u, truth[u]});
+    for (int c : topo.children(u)) {
+      mem.insert(mem.end(), sent[c].begin(), sent[c].end());
+    }
+    SortReadings(&mem);
+
+    const bool is_root = u == topo.root();
+    const int budget =
+        is_root ? static_cast<int>(mem.size()) : plan_->bandwidth[u];
+    const int out_count = std::min<int>(budget, static_cast<int>(mem.size()));
+
+    // Step 3: prove the longest prefix of the outgoing list. A value x is
+    // proven iff every child c certifies it: (c.1) x is one of c's proven
+    // values, (c.2) c proved some value ranking below x, or (c.3) c
+    // returned its entire subtree.
+    int proven = 0;
+    for (; proven < out_count; ++proven) {
+      const Reading& x = mem[proven];
+      bool ok = true;
+      for (int c : topo.children(u)) {
+        const std::vector<Reading>& lc = sent[c];
+        const int tc = sent_proven[c];
+        if (static_cast<int>(lc.size()) == topo.subtree_size(c)) {
+          continue;  // (c.3): everything below c is visible
+        }
+        if (topo.IsAncestorOf(c, x.node)) {
+          // (c.1): x must be within c's proven prefix.
+          bool found = false;
+          for (int r = 0; r < tc; ++r) {
+            if (lc[r].node == x.node) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) ok = false;
+        } else {
+          // (c.2): c's worst proven value must rank below x.
+          if (tc == 0 || !ReadingRanksHigher(x, lc[tc - 1])) ok = false;
+        }
+        if (!ok) break;
+      }
+      if (!ok) break;
+    }
+    proven_count_[u] = proven;
+
+    if (is_root) break;
+
+    // Step 4: pass the top-bandwidth values up, with the proven count
+    // appended when it is informative (Section 4.3's byte optimization).
+    sent[u].assign(mem.begin(), mem.begin() + out_count);
+    sent_proven[u] = proven;
+    sent_count_[u] = out_count;
+    if (proven > 0) worst_proven_sent_[u] = mem[proven - 1];
+    const int extra = proven < out_count ? 1 : 0;
+    collection += sim_->Unicast(u, out_count, extra);
+  }
+
+  result.collection_energy_mj = collection;
+  result.arrived = retrieved_[topo.root()];
+  result.answer = result.arrived;
+  if (static_cast<int>(result.answer.size()) > plan_->k) {
+    result.answer.resize(plan_->k);
+  }
+  result.proven_count =
+      std::min<int>(proven_count_[topo.root()],
+                    static_cast<int>(result.answer.size()));
+  phase1_done_ = true;
+  return result;
+}
+
+ProofExecutor::MopUpReply ProofExecutor::MopUpAtNode(int u, int t,
+                                                     const Reading& lo,
+                                                     const Reading& hi) {
+  const net::Topology& topo = sim_->topology();
+  std::vector<Reading>& mem = retrieved_[u];  // sorted best-first
+
+  // Narrow the request: proven in-range values are already in memory.
+  int served = 0;
+  for (int r = 0; r < proven_count_[u]; ++r) {
+    if (InRange(mem[r], lo, hi)) ++served;
+  }
+  const int t_prime = t - served;
+
+  if (t_prime > 0 && !topo.children(u).empty()) {
+    // lo': the t'-th best unproven retrieved reading in range — anything a
+    // child could still contribute to the top t must outrank it.
+    Reading lo_prime = lo;
+    int unproven_in_range = 0;
+    for (size_t r = proven_count_[u]; r < mem.size(); ++r) {
+      if (InRange(mem[r], lo, hi)) {
+        ++unproven_in_range;
+        if (unproven_in_range == t_prime) {
+          lo_prime = mem[r];
+          break;
+        }
+      }
+    }
+    // hi': every subtree value outranking the worst proven one is already
+    // proven and retrieved.
+    Reading hi_prime = hi;
+    if (proven_count_[u] > 0 &&
+        ReadingRanksHigher(hi_prime, mem[proven_count_[u] - 1])) {
+      hi_prime = mem[proven_count_[u] - 1];
+    }
+
+    if (ReadingRanksHigher(hi_prime, lo_prime)) {
+      std::vector<Reading> fetched;
+      if (mode_ == MopUpMode::kBroadcast) {
+        sim_->BroadcastPayload(u, kMopUpRequestBytes);
+        for (int c : topo.children(u)) {
+          MopUpReply reply = MopUpAtNode(c, t_prime, lo_prime, hi_prime);
+          sim_->Unicast(c, static_cast<int>(reply.readings.size()));
+          fetched.insert(fetched.end(), reply.readings.begin(),
+                         reply.readings.end());
+        }
+      } else {
+        for (int c : topo.children(u)) {
+          // A child that transmitted its whole subtree in phase 1 has
+          // nothing left to reveal.
+          if (sent_count_[c] == topo.subtree_size(c)) continue;
+          // By Lemma 1, anything in c's subtree ranking above c's worst
+          // proven transmitted value was itself proven and transmitted;
+          // tighten this child's upper bound accordingly.
+          Reading hi_c = hi_prime;
+          if (sent_proven_[c] > 0 &&
+              ReadingRanksHigher(hi_c, worst_proven_sent_[c])) {
+            hi_c = worst_proven_sent_[c];
+          }
+          if (!ReadingRanksHigher(hi_c, lo_prime)) continue;  // empty range
+          sim_->Unicast(c, 0, kMopUpRequestBytes);  // tailored request down
+          MopUpReply reply = MopUpAtNode(c, t_prime, lo_prime, hi_c);
+          sim_->Unicast(c, static_cast<int>(reply.readings.size()));
+          fetched.insert(fetched.end(), reply.readings.begin(),
+                         reply.readings.end());
+        }
+      }
+      // Merge, deduplicating by node id (proven values a child re-serves
+      // from memory may already be here).
+      std::vector<char> have(topo.num_nodes(), 0);
+      for (const Reading& r : mem) have[r.node] = 1;
+      for (const Reading& r : fetched) {
+        if (!have[r.node]) {
+          have[r.node] = 1;
+          mem.push_back(r);
+        }
+      }
+      SortReadings(&mem);
+    }
+  }
+
+  MopUpReply reply;
+  for (const Reading& r : mem) {
+    if (static_cast<int>(reply.readings.size()) >= t) break;
+    if (InRange(r, lo, hi)) reply.readings.push_back(r);
+  }
+  return reply;
+}
+
+ExecutionResult ProofExecutor::ExecuteMopUp() {
+  ExecutionResult result;
+  if (!phase1_done_) return result;
+  const net::Topology& topo = sim_->topology();
+  const double energy_before = sim_->stats().total_energy_mj;
+
+  MopUpAtNode(topo.root(), plan_->k, MinusInfinityReading(),
+              PlusInfinityReading());
+
+  result.collection_energy_mj = sim_->stats().total_energy_mj - energy_before;
+  result.arrived = retrieved_[topo.root()];
+  result.answer = result.arrived;
+  if (static_cast<int>(result.answer.size()) > plan_->k) {
+    result.answer.resize(plan_->k);
+  }
+  result.proven_count = static_cast<int>(result.answer.size());
+  return result;
+}
+
+}  // namespace core
+}  // namespace prospector

@@ -1,0 +1,96 @@
+#ifndef PROSPECTOR_CORE_PROOF_EXECUTOR_H_
+#define PROSPECTOR_CORE_PROOF_EXECUTOR_H_
+
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/core/plan.h"
+#include "src/core/reading.h"
+#include "src/net/simulator.h"
+
+namespace prospector {
+namespace core {
+
+/// Sentinel bounds for mop-up ranges (rank strictly between lo and hi).
+Reading MinusInfinityReading();
+Reading PlusInfinityReading();
+
+/// Executes proof-carrying plans (Section 4.3) and, when needed, the
+/// mop-up phase that upgrades an approximate proof-carrying answer into an
+/// exact one (PROSPECTOR Exact).
+///
+/// Phase 1 runs the four-step node procedure: receive child lists with
+/// their proven counts, sort with the own reading, prove the longest
+/// possible prefix via conditions (c.1)-(c.3), and forward the top
+/// bandwidth[u] values plus the proven count. Every node retains
+/// retrieved(u) (its own reading plus everything received) and its proven
+/// prefix for the mop-up phase.
+///
+/// The mop-up request (t, lo, hi) asks a subtree for its top t readings
+/// ranking strictly between lo and hi. A node serves proven in-range
+/// values from memory, narrows the request to
+///   t'  = t - |proven(u) ∩ (lo, hi)|
+///   lo' = the t'-th best *unproven* retrieved reading in range (if any)
+///   hi' = min(hi, worst proven reading)
+/// and broadcasts (t', lo', hi') to its children only when t' > 0 and the
+/// narrowed range is nonempty. Correctness argument: values above hi' are
+/// already proven-and-retrieved, and fewer than t' unproven in-range
+/// subtree values can outrank the t'-th unproven retrieved one.
+/// How mop-up requests reach the children.
+enum class MopUpMode {
+  /// One broadcast per asking node; every child answers (Section 4.3's
+  /// presented version).
+  kBroadcast,
+  /// Per-child unicast requests with individually tightened bounds; a
+  /// child whose subtree provably has nothing to add in the narrowed
+  /// range is skipped entirely (the refinement the paper sketches as
+  /// "sending to children requests with different bounds").
+  kPerChild,
+};
+
+class ProofExecutor {
+ public:
+  /// `plan` must be proof-carrying with bandwidth >= 1 on every edge.
+  ProofExecutor(const QueryPlan* plan, net::NetworkSimulator* sim,
+                MopUpMode mode = MopUpMode::kBroadcast)
+      : plan_(plan), sim_(sim), mode_(mode) {}
+
+  /// Phase 1. `result.proven_count` is the root's proven prefix length.
+  ExecutionResult ExecutePhase1(const std::vector<double>& truth,
+                                bool include_trigger = true);
+
+  /// Phase 2; requires ExecutePhase1 first. Returns the exact top-k
+  /// answer (k from the plan) and the phase's energy.
+  ExecutionResult ExecuteMopUp();
+
+  /// Test/inspection access to node memory after phase 1 or mop-up.
+  const std::vector<Reading>& retrieved(int node) const {
+    return retrieved_[node];
+  }
+  int proven_count(int node) const { return proven_count_[node]; }
+
+ private:
+  struct MopUpReply {
+    std::vector<Reading> readings;
+  };
+
+  MopUpReply MopUpAtNode(int u, int t, const Reading& lo, const Reading& hi);
+
+  const QueryPlan* plan_;
+  net::NetworkSimulator* sim_;
+  MopUpMode mode_;
+  std::vector<std::vector<Reading>> retrieved_;  // sorted best-first
+  std::vector<int> proven_count_;
+  // Phase-1 bookkeeping the per-child mop-up uses: how many values each
+  // node transmitted, how many of them were proven, and the worst proven
+  // reading (only meaningful when sent_proven_ > 0).
+  std::vector<int> sent_count_;
+  std::vector<int> sent_proven_;
+  std::vector<Reading> worst_proven_sent_;
+  bool phase1_done_ = false;
+};
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_PROOF_EXECUTOR_H_

@@ -1,0 +1,55 @@
+#ifndef PROSPECTOR_CORE_PROOF_PLANNER_H_
+#define PROSPECTOR_CORE_PROOF_PLANNER_H_
+
+#include "src/core/lp_no_filter_planner.h"
+#include "src/core/planner.h"
+
+namespace prospector {
+namespace core {
+
+/// PROSPECTOR Proof (Section 4.3): optimizes the bandwidth allocation of a
+/// proof-carrying plan so that, in expectation over the samples, the root
+/// proves as many top-k values as possible within the energy budget.
+///
+/// A proof-carrying plan must use every edge (any unvisited node could
+/// hold the maximum), so each bandwidth is at least 1 and the per-message
+/// cost of all edges is a fixed floor; the LP spends the remaining budget
+/// on bandwidth. Variables p_{j,i,a} ("the value of node i is proven by
+/// its ancestor a when the plan runs on sample j") are constrained by:
+///
+///   sum_{i in desc(v)} p_{j,i,v} <= b_v          (bandwidth, line 12)
+///   p_{j,i,a} <= p_{j,i,prev(a->i)}              (path, line 13)
+///   p_{j,i,a} <= sum_{i' in desc(c), x_j(i') < x_j(i)} p_{j,i',c}
+///                                                (proof, line 14)
+///
+/// where the proof constraint ranges over every child c of a that is not
+/// on the a->i path, and is omitted when c's subtree holds no value
+/// smaller than x_j(i) — the paper's (c.3) exception.
+class ProofPlanner : public Planner {
+ public:
+  explicit ProofPlanner(LpPlannerOptions options = {}) : options_(options) {}
+
+  /// Fails with FailedPrecondition when the budget cannot cover the
+  /// mandatory floor (every edge, one value each). The returned plan has
+  /// proof_carrying = true and bandwidth >= 1 on every edge.
+  Result<QueryPlan> Plan(const PlannerContext& ctx,
+                         const sampling::SampleSet& samples,
+                         const PlanRequest& request) override;
+  std::string name() const override { return "ProspectorProof"; }
+
+  double last_lp_objective() const { return last_lp_objective_; }
+
+  /// The mandatory cost floor of any proof-carrying plan on this network:
+  /// one message with one value on every edge (failure-inflated), plus the
+  /// reserved byte per non-leaf edge for the proven-count field.
+  static double MinimumCost(const PlannerContext& ctx);
+
+ private:
+  LpPlannerOptions options_;
+  double last_lp_objective_ = 0.0;
+};
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_PROOF_PLANNER_H_

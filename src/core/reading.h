@@ -1,0 +1,47 @@
+#ifndef PROSPECTOR_CORE_READING_H_
+#define PROSPECTOR_CORE_READING_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace prospector {
+namespace core {
+
+/// One sensor reading in flight: which node produced it and its value.
+struct Reading {
+  int node = -1;
+  double value = 0.0;
+
+  bool operator==(const Reading& other) const {
+    return node == other.node && value == other.value;
+  }
+};
+
+/// Strict total order used for every ranking decision in the library:
+/// higher value ranks first; ties break toward the lower node id. A total
+/// order removes all tie ambiguity from proofs and the mop-up protocol.
+inline bool ReadingRanksHigher(const Reading& a, const Reading& b) {
+  if (a.value != b.value) return a.value > b.value;
+  return a.node < b.node;
+}
+
+/// Sorts best-first under ReadingRanksHigher.
+inline void SortReadings(std::vector<Reading>* rs) {
+  std::sort(rs->begin(), rs->end(), ReadingRanksHigher);
+}
+
+/// The true top-k of a full network reading vector, best-first.
+inline std::vector<Reading> TrueTopK(const std::vector<double>& truth, int k) {
+  std::vector<Reading> all(truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    all[i] = {static_cast<int>(i), truth[i]};
+  }
+  SortReadings(&all);
+  if (static_cast<int>(all.size()) > k) all.resize(k);
+  return all;
+}
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_READING_H_

@@ -1,0 +1,112 @@
+#include "src/core/session.h"
+
+namespace prospector {
+namespace core {
+namespace {
+
+std::unique_ptr<Planner> MakePlanner(const SessionOptions& options) {
+  switch (options.planner) {
+    case SessionOptions::PlannerChoice::kGreedy:
+      return std::make_unique<GreedyPlanner>();
+    case SessionOptions::PlannerChoice::kLpNoFilter:
+      return std::make_unique<LpNoFilterPlanner>(options.lp);
+    case SessionOptions::PlannerChoice::kLpFilter:
+      return std::make_unique<LpFilterPlanner>(options.lp);
+  }
+  return std::make_unique<LpFilterPlanner>(options.lp);
+}
+
+}  // namespace
+
+TopKQuerySession::TopKQuerySession(const net::Topology* topology,
+                                   net::EnergyModel energy,
+                                   net::FailureModel failures,
+                                   SessionOptions options, uint64_t seed)
+    : topology_(topology),
+      options_(options),
+      ctx_{topology, energy, failures},
+      sim_(topology, energy, failures, seed),
+      samples_(sampling::SampleSet::ForTopK(topology->num_nodes(), options.k,
+                                            options.sample_window)),
+      planner_(MakePlanner(options)),
+      manager_(planner_.get(),
+               PlanRequest{options.k, options.energy_budget_mj},
+               options.manager),
+      rng_(seed ^ 0x5e551011) {}
+
+Result<bool> TopKQuerySession::Replan() {
+  auto changed = manager_.MaybeReplan(ctx_, samples_, &sim_);
+  if (changed.ok() && *changed) {
+    install_energy_ += sim_.TakeStats().total_energy_mj;
+  } else {
+    sim_.ResetStats();
+  }
+  return changed;
+}
+
+Result<TopKQuerySession::TickResult> TopKQuerySession::Tick(
+    const std::vector<double>& truth) {
+  if (static_cast<int>(truth.size()) != topology_->num_nodes()) {
+    return Status::InvalidArgument("truth vector does not match network size");
+  }
+  TickResult result;
+  const int this_epoch = epoch_++;
+
+  // Bootstrap and exploration epochs: full sweep, then reconsider the plan.
+  const bool bootstrap = this_epoch < options_.bootstrap_sweeps;
+  const bool explore =
+      bootstrap || rng_.Bernoulli(manager_.explore_probability());
+  if (explore) {
+    result.kind = bootstrap ? TickResult::Kind::kBootstrap
+                            : TickResult::Kind::kExplore;
+    const double spent = collector_.CollectSample(truth, &sim_, &samples_);
+    sampling_energy_ += spent;
+    sim_.ResetStats();
+    // Reconsider the plan once the window is primed.
+    if (this_epoch + 1 >= options_.bootstrap_sweeps) {
+      auto changed = Replan();
+      if (!changed.ok()) return changed.status();
+      result.replanned = *changed;
+    }
+    result.energy_mj = spent;
+    return result;
+  }
+
+  if (!manager_.has_plan()) {
+    auto changed = Replan();
+    if (!changed.ok()) return changed.status();
+    result.replanned = *changed;
+  }
+
+  // Audit epoch: a proof-backed exact query measuring true accuracy.
+  if (options_.audit_every > 0 &&
+      ++queries_since_audit_ >= options_.audit_every) {
+    queries_since_audit_ = 0;
+    result.kind = TickResult::Kind::kAudit;
+    auto exact = RunProspectorExact(
+        ctx_, samples_, options_.k,
+        ProofPlanner::MinimumCost(ctx_) * options_.audit_budget_factor, truth,
+        &sim_, options_.lp);
+    sim_.ResetStats();
+    if (!exact.ok()) return exact.status();
+    audit_energy_ += exact->total_energy_mj();
+    result.answer = exact->answer;
+    result.proven = exact->phase1_proven;
+    result.energy_mj = exact->total_energy_mj();
+    manager_.ObserveAccuracy(static_cast<double>(exact->phase1_proven) /
+                             options_.k);
+    return result;
+  }
+
+  // Ordinary query epoch.
+  result.kind = TickResult::Kind::kQuery;
+  ExecutionResult r = CollectionExecutor::Execute(manager_.plan(), truth, &sim_);
+  sim_.ResetStats();
+  query_energy_ += r.total_energy_mj();
+  result.answer = std::move(r.answer);
+  result.energy_mj = r.total_energy_mj();
+  return result;
+}
+
+}  // namespace core
+}  // namespace prospector

@@ -1,0 +1,106 @@
+#ifndef PROSPECTOR_CORE_SESSION_H_
+#define PROSPECTOR_CORE_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/exact.h"
+#include "src/core/greedy_planner.h"
+#include "src/core/lp_filter_planner.h"
+#include "src/core/lp_no_filter_planner.h"
+#include "src/core/plan_manager.h"
+#include "src/net/simulator.h"
+#include "src/sampling/collector.h"
+#include "src/sampling/sample_set.h"
+
+namespace prospector {
+namespace core {
+
+/// Configuration of a standing top-k query.
+struct SessionOptions {
+  int k = 10;
+  double energy_budget_mj = 10.0;
+  /// Sliding sample window (Section 3's "window of recent samples").
+  size_t sample_window = 40;
+  /// The first epochs always run full sweeps to seed the window.
+  int bootstrap_sweeps = 8;
+  /// Which PROSPECTOR plans the queries.
+  enum class PlannerChoice { kGreedy, kLpNoFilter, kLpFilter };
+  PlannerChoice planner = PlannerChoice::kLpFilter;
+  LpPlannerOptions lp;
+  PlanManagerOptions manager;
+  /// Every `audit_every` query epochs, run a proof-carrying exact query to
+  /// measure true accuracy and drive the re-sampling policy (Section 4.4);
+  /// 0 disables audits.
+  int audit_every = 0;
+  /// Phase-1 budget of an audit, as a multiple of the proof floor.
+  double audit_budget_factor = 1.15;
+};
+
+/// One-stop standing top-k query over a deployed network — the facade a
+/// downstream user adopts. The session owns the sliding sample window, the
+/// planner and re-planning policy, the exploration schedule, the optional
+/// proof-backed accuracy audits, and the energy ledger. Call Tick() once
+/// per epoch with the network's current readings; the session decides
+/// whether that epoch explores (full sweep), audits, or answers the query
+/// with the installed plan.
+class TopKQuerySession {
+ public:
+  TopKQuerySession(const net::Topology* topology, net::EnergyModel energy,
+                   net::FailureModel failures, SessionOptions options,
+                   uint64_t seed = 1);
+
+  /// What one epoch did.
+  struct TickResult {
+    enum class Kind { kBootstrap, kExplore, kAudit, kQuery };
+    Kind kind = Kind::kQuery;
+    /// The query answer (top-k readings at the root); exact for audit
+    /// epochs, empty for pure exploration epochs.
+    std::vector<Reading> answer;
+    double energy_mj = 0.0;
+    bool replanned = false;
+    /// Audit epochs: how many answers phase 1 proved (k = full marks).
+    int proven = -1;
+  };
+
+  Result<TickResult> Tick(const std::vector<double>& truth);
+
+  int epoch() const { return epoch_; }
+  bool has_plan() const { return manager_.has_plan(); }
+  const QueryPlan& plan() const { return manager_.plan(); }
+  const sampling::SampleSet& samples() const { return samples_; }
+  const PlanManager& manager() const { return manager_; }
+
+  /// Cumulative energy by activity, mJ.
+  double query_energy_mj() const { return query_energy_; }
+  double sampling_energy_mj() const { return sampling_energy_; }
+  double audit_energy_mj() const { return audit_energy_; }
+  double install_energy_mj() const { return install_energy_; }
+  double total_energy_mj() const {
+    return query_energy_ + sampling_energy_ + audit_energy_ + install_energy_;
+  }
+
+ private:
+  Result<bool> Replan();
+
+  const net::Topology* topology_;
+  SessionOptions options_;
+  PlannerContext ctx_;
+  net::NetworkSimulator sim_;
+  sampling::SampleSet samples_;
+  sampling::SampleCollector collector_;
+  std::unique_ptr<Planner> planner_;
+  PlanManager manager_;
+  Rng rng_;
+  int epoch_ = 0;
+  int queries_since_audit_ = 0;
+  double query_energy_ = 0.0;
+  double sampling_energy_ = 0.0;
+  double audit_energy_ = 0.0;
+  double install_energy_ = 0.0;
+};
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_SESSION_H_

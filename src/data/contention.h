@@ -1,0 +1,53 @@
+#ifndef PROSPECTOR_DATA_CONTENTION_H_
+#define PROSPECTOR_DATA_CONTENTION_H_
+
+#include <vector>
+
+#include "src/data/gaussian_field.h"
+#include "src/net/topology.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace prospector {
+namespace data {
+
+/// The "contention zone" workload of Section 5 (Figures 5–7), modeling the
+/// negative correlation of the ornithology example: Z zones spaced evenly
+/// around the perimeter of the field with the query root at the center.
+/// Each zone contains `nodes_per_zone` sensors. Background nodes have a
+/// fixed mean and low variance; zone nodes have a lower mean but a variance
+/// chosen such that each exceeds the background mean with probability
+/// `exceed_probability` (default 1/Z), so the expected number of zone nodes
+/// above the background is exactly k = nodes_per_zone.
+struct ContentionZoneOptions {
+  int num_zones = 6;
+  int nodes_per_zone = 10;       ///< the paper sets this to k
+  int num_background = 40;       ///< relay/background nodes
+  double field_size = 100.0;     ///< square field edge, meters
+  double radio_range = 20.0;
+  double zone_radius = 6.0;      ///< zone nodes cluster within this disc
+  double background_mean = 50.0;
+  double background_stddev = 1.0;
+  double zone_mean_offset = 10.0;  ///< zone mean = background_mean - offset
+  /// P(zone node > background_mean); <= 0 means "use 1/num_zones".
+  double exceed_probability = -1.0;
+};
+
+/// A built scenario: the tree, the value distribution, and which zone each
+/// node belongs to (-1 for background nodes and the root).
+struct ContentionScenario {
+  net::Topology topology;
+  GaussianField field;
+  std::vector<int> zone_of_node;
+};
+
+/// Builds the scenario, retrying placements until the radio graph is
+/// connected. Node ids: 0 = root, then zone nodes (zone-major), then
+/// background nodes.
+Result<ContentionScenario> BuildContentionScenario(
+    const ContentionZoneOptions& options, Rng* rng, int max_tries = 100);
+
+}  // namespace data
+}  // namespace prospector
+
+#endif  // PROSPECTOR_DATA_CONTENTION_H_

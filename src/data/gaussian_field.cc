@@ -1,0 +1,83 @@
+#include "src/data/gaussian_field.h"
+
+#include <cmath>
+
+namespace prospector {
+namespace data {
+
+double InverseNormalCdf(double p) {
+  // Peter Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  if (p <= 0.0) return -1e308;
+  if (p >= 1.0) return 1e308;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= phigh) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+GaussianField GaussianField::Random(int num_nodes, double mean_lo,
+                                    double mean_hi, double var_lo,
+                                    double var_hi, Rng* rng) {
+  std::vector<double> means(num_nodes), stddevs(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    means[i] = rng->Uniform(mean_lo, mean_hi);
+    stddevs[i] = std::sqrt(rng->Uniform(var_lo, var_hi));
+  }
+  return GaussianField(std::move(means), std::move(stddevs));
+}
+
+GaussianField GaussianField::RandomWithVariance(int num_nodes, double mean_lo,
+                                                double mean_hi, double variance,
+                                                Rng* rng) {
+  std::vector<double> means(num_nodes), stddevs(num_nodes);
+  const double sd = std::sqrt(variance);
+  for (int i = 0; i < num_nodes; ++i) {
+    means[i] = rng->Uniform(mean_lo, mean_hi);
+    stddevs[i] = sd;
+  }
+  return GaussianField(std::move(means), std::move(stddevs));
+}
+
+std::vector<double> GaussianField::Sample(Rng* rng) const {
+  std::vector<double> v(means_.size());
+  for (size_t i = 0; i < means_.size(); ++i) {
+    v[i] = rng->Gaussian(means_[i], stddevs_[i]);
+  }
+  return v;
+}
+
+std::vector<std::vector<double>> GaussianField::SampleMany(int count,
+                                                           Rng* rng) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(count);
+  for (int s = 0; s < count; ++s) out.push_back(Sample(rng));
+  return out;
+}
+
+}  // namespace data
+}  // namespace prospector

@@ -1,0 +1,58 @@
+#ifndef PROSPECTOR_DATA_GAUSSIAN_FIELD_H_
+#define PROSPECTOR_DATA_GAUSSIAN_FIELD_H_
+
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace data {
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). Used to pick zone variances such that
+/// P(X > threshold) equals a prescribed probability.
+double InverseNormalCdf(double p);
+
+/// A product of independent per-node Gaussians — the synthetic-data model
+/// of Section 5 ("sensor values are drawn from independent normal
+/// distributions whose means and variances are chosen randomly from small
+/// ranges").
+class GaussianField {
+ public:
+  GaussianField() = default;
+  GaussianField(std::vector<double> means, std::vector<double> stddevs)
+      : means_(std::move(means)), stddevs_(std::move(stddevs)) {}
+
+  /// Random means in [mean_lo, mean_hi], random variances in
+  /// [var_lo, var_hi] (Fig 3 setup).
+  static GaussianField Random(int num_nodes, double mean_lo, double mean_hi,
+                              double var_lo, double var_hi, Rng* rng);
+
+  /// Random means, one shared variance (the Fig 4 sweep).
+  static GaussianField RandomWithVariance(int num_nodes, double mean_lo,
+                                          double mean_hi, double variance,
+                                          Rng* rng);
+
+  int num_nodes() const { return static_cast<int>(means_.size()); }
+  double mean(int i) const { return means_[i]; }
+  double stddev(int i) const { return stddevs_[i]; }
+  void set_node(int i, double mean, double stddev) {
+    means_[i] = mean;
+    stddevs_[i] = stddev;
+  }
+
+  /// One network-wide reading vector.
+  std::vector<double> Sample(Rng* rng) const;
+
+  /// `count` independent reading vectors.
+  std::vector<std::vector<double>> SampleMany(int count, Rng* rng) const;
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace data
+}  // namespace prospector
+
+#endif  // PROSPECTOR_DATA_GAUSSIAN_FIELD_H_

@@ -1,0 +1,86 @@
+#include "src/data/lab_trace.h"
+
+#include <cmath>
+
+namespace prospector {
+namespace data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+Result<LabScenario> BuildLabScenario(const LabTraceOptions& options, Rng* rng,
+                                     int max_tries) {
+  net::GeometricNetworkOptions geo;
+  geo.num_nodes = options.num_motes;
+  geo.width = options.width;
+  geo.height = options.height;
+  geo.radio_range = options.radio_range;
+  geo.root_at_center = false;  // base station in a corner, like the lab's
+
+  auto topo = net::BuildConnectedGeometricNetwork(geo, rng, max_tries);
+  if (!topo.ok()) return topo.status();
+  const std::vector<net::Point>& pos = topo.value().positions();
+  const int n = options.num_motes;
+
+  // Persistently warm locations: distinct motes with a static offset.
+  std::vector<double> hot_offset(n, 0.0);
+  std::vector<int> hot;
+  {
+    std::vector<int> ids;
+    for (int i = 1; i < n; ++i) ids.push_back(i);
+    rng->Shuffle(&ids);
+    const int h = std::min<int>(options.num_hot_spots, n - 1);
+    for (int j = 0; j < h; ++j) {
+      hot.push_back(ids[j]);
+      hot_offset[ids[j]] =
+          rng->Uniform(options.hot_offset_lo_c, options.hot_offset_hi_c);
+    }
+  }
+
+  // Latent spatial blobs: AR(1) processes blended by Gaussian kernels.
+  const int B = options.num_latent_blobs;
+  std::vector<net::Point> blob_center(B);
+  for (int b = 0; b < B; ++b) {
+    blob_center[b] = {rng->Uniform(0.0, options.width),
+                      rng->Uniform(0.0, options.height)};
+  }
+  std::vector<std::vector<double>> blob_weight(n, std::vector<double>(B));
+  for (int i = 0; i < n; ++i) {
+    for (int b = 0; b < B; ++b) {
+      const double d = net::Distance(pos[i], blob_center[b]);
+      blob_weight[i][b] = std::exp(
+          -d * d / (2.0 * options.blob_length_scale * options.blob_length_scale));
+    }
+  }
+
+  std::vector<double> blob_state(B, 0.0);
+  const double rho = options.blob_ar_coefficient;
+  const double innovation = options.blob_stddev_c * std::sqrt(1.0 - rho * rho);
+
+  Trace trace(n);
+  for (int t = 0; t < options.num_epochs; ++t) {
+    for (int b = 0; b < B; ++b) {
+      blob_state[b] = rho * blob_state[b] + rng->Gaussian(0.0, innovation);
+    }
+    const double diurnal =
+        options.diurnal_amplitude_c *
+        std::sin(2.0 * kPi * t / options.diurnal_period_epochs);
+    std::vector<double> epoch(n);
+    for (int i = 0; i < n; ++i) {
+      double v = options.base_temp_c + diurnal + hot_offset[i];
+      for (int b = 0; b < B; ++b) v += blob_weight[i][b] * blob_state[b];
+      v += rng->Gaussian(0.0, options.measurement_noise_c);
+      if (rng->Bernoulli(options.missing_probability)) v = std::nan("");
+      epoch[i] = v;
+    }
+    Status st = trace.AddEpoch(std::move(epoch));
+    if (!st.ok()) return st;
+  }
+
+  return LabScenario{std::move(topo.value()), std::move(trace), std::move(hot)};
+}
+
+}  // namespace data
+}  // namespace prospector

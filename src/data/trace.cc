@@ -1,0 +1,116 @@
+#include "src/data/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace prospector {
+namespace data {
+
+Status Trace::AddEpoch(std::vector<double> values) {
+  if (static_cast<int>(values.size()) != num_nodes_) {
+    return Status::InvalidArgument(
+        "epoch has " + std::to_string(values.size()) + " values, expected " +
+        std::to_string(num_nodes_));
+  }
+  epochs_.push_back(std::move(values));
+  return Status::OK();
+}
+
+int Trace::CountMissing() const {
+  int count = 0;
+  for (const auto& e : epochs_) {
+    for (double v : e) {
+      if (IsMissing(v)) ++count;
+    }
+  }
+  return count;
+}
+
+void Trace::ImputeMissing() {
+  const int T = num_epochs();
+  for (int i = 0; i < num_nodes_; ++i) {
+    // Impute from originally-present readings only, so a run of missing
+    // epochs gets the average across the whole gap rather than a chain of
+    // already-imputed values.
+    std::vector<char> was_missing(T);
+    for (int t = 0; t < T; ++t) was_missing[t] = IsMissing(epochs_[t][i]);
+    for (int t = 0; t < T; ++t) {
+      if (!was_missing[t]) continue;
+      // Nearest present reading before and after t.
+      int prev = t - 1;
+      while (prev >= 0 && was_missing[prev]) --prev;
+      int next = t + 1;
+      while (next < T && was_missing[next]) ++next;
+      const bool has_prev = prev >= 0;
+      const bool has_next = next < T;
+      if (has_prev && has_next) {
+        epochs_[t][i] = 0.5 * (epochs_[prev][i] + epochs_[next][i]);
+      } else if (has_prev) {
+        epochs_[t][i] = epochs_[prev][i];
+      } else if (has_next) {
+        epochs_[t][i] = epochs_[next][i];
+      } else {
+        epochs_[t][i] = 0.0;
+      }
+    }
+  }
+}
+
+Trace Trace::Slice(int begin, int end) const {
+  Trace out(num_nodes_);
+  for (int t = std::max(begin, 0); t < std::min(end, num_epochs()); ++t) {
+    out.epochs_.push_back(epochs_[t]);
+  }
+  return out;
+}
+
+Status Trace::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.precision(10);
+  for (const auto& e : epochs_) {
+    for (int i = 0; i < num_nodes_; ++i) {
+      if (i > 0) out << ',';
+      if (IsMissing(e[i])) {
+        out << "nan";
+      } else {
+        out << e[i];
+      }
+    }
+    out << '\n';
+  }
+  return out.good() ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+Result<Trace> Trace::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  Trace t;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      if (cell == "nan") {
+        row.push_back(std::nan(""));
+      } else {
+        try {
+          row.push_back(std::stod(cell));
+        } catch (...) {
+          return Status::InvalidArgument("bad cell '" + cell + "' in " + path);
+        }
+      }
+    }
+    if (t.num_nodes_ == 0) t.num_nodes_ = static_cast<int>(row.size());
+    if (static_cast<int>(row.size()) != t.num_nodes_) {
+      return Status::InvalidArgument("ragged rows in " + path);
+    }
+    t.epochs_.push_back(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace data
+}  // namespace prospector

@@ -1,0 +1,55 @@
+#ifndef PROSPECTOR_DATA_TRACE_H_
+#define PROSPECTOR_DATA_TRACE_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace prospector {
+namespace data {
+
+/// A time-series of network-wide readings: `epoch(t)[i]` is the value of
+/// node i at epoch t. Missing readings (dropped radio packets in real
+/// deployments) are NaN until imputed.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(int num_nodes) : num_nodes_(num_nodes) {}
+
+  int num_nodes() const { return num_nodes_; }
+  int num_epochs() const { return static_cast<int>(epochs_.size()); }
+
+  /// Appends one epoch; must have exactly num_nodes values.
+  Status AddEpoch(std::vector<double> values);
+
+  const std::vector<double>& epoch(int t) const { return epochs_[t]; }
+  double value(int t, int node) const { return epochs_[t][node]; }
+  void set_value(int t, int node, double v) { epochs_[t][node] = v; }
+
+  static bool IsMissing(double v) { return std::isnan(v); }
+  int CountMissing() const;
+
+  /// Fills each missing value with the average of the node's readings at
+  /// the prior and subsequent epochs — exactly the imputation the paper
+  /// applies to the Intel Lab data. Runs of missing values use the nearest
+  /// present neighbors; a node missing in every epoch is set to 0.
+  void ImputeMissing();
+
+  /// Returns the sub-trace of epochs [begin, end).
+  Trace Slice(int begin, int end) const;
+
+  /// CSV round-trip: one row per epoch, "nan" for missing values.
+  Status SaveCsv(const std::string& path) const;
+  static Result<Trace> LoadCsv(const std::string& path);
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<std::vector<double>> epochs_;
+};
+
+}  // namespace data
+}  // namespace prospector
+
+#endif  // PROSPECTOR_DATA_TRACE_H_

@@ -1,0 +1,168 @@
+#include "src/lp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace prospector {
+namespace lp {
+namespace {
+
+struct BoundOverride {
+  int var;
+  double lower;
+  double upper;
+};
+
+// One open subproblem: the cumulative bound tightenings along its path
+// from the root, plus the parent relaxation's objective (a valid bound).
+struct Node {
+  std::vector<BoundOverride> overrides;
+  double parent_bound;
+};
+
+Model WithOverrides(const Model& base, const std::vector<BoundOverride>& ovr) {
+  std::vector<double> lo(base.num_variables()), up(base.num_variables());
+  for (int j = 0; j < base.num_variables(); ++j) {
+    lo[j] = base.variable(j).lower;
+    up[j] = base.variable(j).upper;
+  }
+  for (const BoundOverride& o : ovr) {
+    lo[o.var] = std::max(lo[o.var], o.lower);
+    up[o.var] = std::min(up[o.var], o.upper);
+  }
+  Model rebuilt;
+  rebuilt.SetSense(base.sense());
+  for (int j = 0; j < base.num_variables(); ++j) {
+    rebuilt.AddVariable(lo[j], up[j], base.variable(j).objective,
+                        base.variable(j).name);
+  }
+  for (int r = 0; r < base.num_rows(); ++r) {
+    const Row& row = base.row(r);
+    rebuilt.AddRow(row.type, row.rhs, row.terms, row.name);
+  }
+  return rebuilt;
+}
+
+}  // namespace
+
+Result<BnbResult> BranchAndBound::Solve(
+    const Model& model, const std::vector<int>& integer_vars) const {
+  PROSPECTOR_RETURN_IF_ERROR(model.Validate());
+  for (int v : integer_vars) {
+    if (v < 0 || v >= model.num_variables()) {
+      return Status::InvalidArgument("integer variable index out of range");
+    }
+  }
+  const bool maximize = model.sense() == Sense::kMaximize;
+  auto better = [maximize](double a, double b) {
+    return maximize ? a > b : a < b;
+  };
+  const double worst = maximize ? -kInfinity : kInfinity;
+
+  SimplexSolver solver(options_.simplex);
+  BnbResult result;
+  result.objective = worst;
+  bool have_incumbent = false;
+  bool node_cap_hit = false;
+
+  std::vector<Node> stack;
+  stack.push_back({{}, maximize ? kInfinity : -kInfinity});
+
+  while (!stack.empty()) {
+    if (result.nodes_explored >= options_.max_nodes) {
+      node_cap_hit = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    // Parent bound already dominated by the incumbent?
+    if (have_incumbent &&
+        !better(node.parent_bound,
+                result.objective + (maximize ? options_.gap_tol
+                                             : -options_.gap_tol))) {
+      continue;
+    }
+    ++result.nodes_explored;
+
+    const Model sub = WithOverrides(model, node.overrides);
+    // Bound tightenings can invert bounds (floor < lower); treat as prune.
+    bool invalid = false;
+    for (int j = 0; j < sub.num_variables(); ++j) {
+      if (sub.variable(j).lower > sub.variable(j).upper) invalid = true;
+    }
+    if (invalid) continue;
+
+    auto relax = solver.Solve(sub);
+    if (!relax.ok()) return relax.status();
+    if (relax->status == SolveStatus::kInfeasible) continue;
+    if (relax->status == SolveStatus::kUnbounded) {
+      return Status::InvalidArgument(
+          "relaxation unbounded; bound the integer variables");
+    }
+    if (relax->status != SolveStatus::kOptimal) {
+      node_cap_hit = true;  // solver iteration limit: treat as unexplored
+      continue;
+    }
+    if (have_incumbent &&
+        !better(relax->objective, result.objective + (maximize
+                                                          ? options_.gap_tol
+                                                          : -options_.gap_tol))) {
+      continue;  // bounded out
+    }
+
+    // Most fractional integer variable.
+    int branch_var = -1;
+    double worst_frac = options_.integrality_tol;
+    for (int v : integer_vars) {
+      const double x = relax->values[v];
+      const double frac = std::abs(x - std::round(x));
+      if (frac > worst_frac) {
+        worst_frac = frac;
+        branch_var = v;
+      }
+    }
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      result.objective = relax->objective;
+      result.values = relax->values;
+      for (int v : integer_vars) result.values[v] = std::round(result.values[v]);
+      have_incumbent = true;
+      continue;
+    }
+
+    const double x = relax->values[branch_var];
+    Node down{node.overrides, relax->objective};
+    down.overrides.push_back({branch_var, -kInfinity, std::floor(x)});
+    Node up{std::move(node.overrides), relax->objective};
+    up.overrides.push_back({branch_var, std::ceil(x), kInfinity});
+    // DFS: explore the side nearer the fractional value first (pushed
+    // last) for quick incumbents.
+    if (x - std::floor(x) > 0.5) {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    } else {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    }
+  }
+
+  if (node_cap_hit) {
+    result.status = SolveStatus::kIterationLimit;
+    result.best_bound = result.objective;
+    for (const Node& open : stack) {
+      if (better(open.parent_bound, result.best_bound)) {
+        result.best_bound = open.parent_bound;
+      }
+    }
+  } else if (have_incumbent) {
+    result.status = SolveStatus::kOptimal;
+    result.best_bound = result.objective;
+  } else {
+    result.status = SolveStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace lp
+}  // namespace prospector

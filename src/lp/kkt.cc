@@ -1,0 +1,142 @@
+#include "src/lp/kkt.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace prospector {
+namespace lp {
+namespace {
+
+std::string RowLabel(const Model& model, int r) {
+  const std::string& name = model.row(r).name;
+  return name.empty() ? "row " + std::to_string(r) : name;
+}
+
+}  // namespace
+
+Status VerifyKkt(const Model& model, const Solution& solution, double tol) {
+  if (solution.status != SolveStatus::kOptimal) {
+    return Status::FailedPrecondition("solution is not marked optimal");
+  }
+  const int n = model.num_variables();
+  const int m = model.num_rows();
+  if (static_cast<int>(solution.values.size()) != n ||
+      static_cast<int>(solution.row_duals.size()) != m ||
+      static_cast<int>(solution.reduced_costs.size()) != n) {
+    return Status::InvalidArgument("solution arrays do not match the model");
+  }
+  const std::vector<double>& x = solution.values;
+  const bool maximize = model.sense() == Sense::kMaximize;
+  // Normalize dual/reduced-cost signs to the minimization convention so a
+  // single set of inequalities applies.
+  auto y_min = [&](int r) {
+    return maximize ? -solution.row_duals[r] : solution.row_duals[r];
+  };
+  auto d_min = [&](int j) {
+    const double d = solution.reduced_costs[j];
+    return maximize ? -d : d;
+  };
+
+  // 1. Primal feasibility + row slacks.
+  std::vector<double> slack(m);
+  for (int j = 0; j < n; ++j) {
+    const Variable& v = model.variable(j);
+    if (x[j] < v.lower - tol || x[j] > v.upper + tol) {
+      return Status::FailedPrecondition("variable " + std::to_string(j) +
+                                        " violates its bounds");
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    const Row& row = model.row(r);
+    double lhs = 0.0;
+    for (const Term& t : row.terms) lhs += t.coeff * x[t.var];
+    slack[r] = row.rhs - lhs;
+    const bool ok = row.type == RowType::kLessEqual  ? slack[r] >= -tol
+                    : row.type == RowType::kGreaterEqual ? slack[r] <= tol
+                                                         : std::abs(slack[r]) <= tol;
+    if (!ok) {
+      return Status::FailedPrecondition(RowLabel(model, r) + " is violated");
+    }
+  }
+
+  // 2+3. Dual feasibility and complementary slackness on rows. In the
+  // minimization convention, a <= row has y <= 0 and a >= row has y >= 0
+  // (with slack +1 columns: c_slack - y*1 must be dually feasible given
+  // the slack's bounds), and a nonzero dual requires a tight row.
+  for (int r = 0; r < m; ++r) {
+    const double y = y_min(r);
+    const RowType type = model.row(r).type;
+    if (type == RowType::kLessEqual && y > tol) {
+      return Status::FailedPrecondition(RowLabel(model, r) +
+                                        " has a wrong-signed dual");
+    }
+    if (type == RowType::kGreaterEqual && y < -tol) {
+      return Status::FailedPrecondition(RowLabel(model, r) +
+                                        " has a wrong-signed dual");
+    }
+    if (std::abs(y) > tol && std::abs(slack[r]) > tol) {
+      return Status::FailedPrecondition(RowLabel(model, r) +
+                                        " has a nonzero dual but slack");
+    }
+  }
+
+  // 2+3. Reduced costs: d = c - A^T y must vanish off the bounds, be >= 0
+  // at the lower bound and <= 0 at the upper (minimization convention);
+  // also re-derive d from y to catch inconsistent certificates.
+  std::vector<double> derived(n);
+  for (int j = 0; j < n; ++j) {
+    derived[j] = maximize ? -model.variable(j).objective
+                          : model.variable(j).objective;
+  }
+  for (int r = 0; r < m; ++r) {
+    const double y = y_min(r);
+    if (y == 0.0) continue;
+    for (const Term& t : model.row(r).terms) derived[t.var] -= y * t.coeff;
+  }
+  for (int j = 0; j < n; ++j) {
+    const double d = d_min(j);
+    if (std::abs(d - derived[j]) > 1e-4 + tol) {
+      return Status::FailedPrecondition(
+          "reduced cost of variable " + std::to_string(j) +
+          " is inconsistent with the row duals");
+    }
+    const Variable& v = model.variable(j);
+    const bool at_lower = x[j] <= v.lower + tol;
+    const bool at_upper = x[j] >= v.upper - tol;
+    if (at_lower && at_upper) continue;  // fixed variable: any d
+    if (at_lower) {
+      if (d < -tol) {
+        return Status::FailedPrecondition(
+            "variable " + std::to_string(j) +
+            " could improve by leaving its lower bound");
+      }
+    } else if (at_upper) {
+      if (d > tol) {
+        return Status::FailedPrecondition(
+            "variable " + std::to_string(j) +
+            " could improve by leaving its upper bound");
+      }
+    } else if (std::abs(d) > tol) {
+      return Status::FailedPrecondition("interior variable " +
+                                        std::to_string(j) +
+                                        " has a nonzero reduced cost");
+    }
+  }
+
+  // 4. Strong duality: c'x = y'b + d'x (in the model's own sense both
+  // sides flip together, so check as stated).
+  double primal = model.ObjectiveValue(x);
+  double dual = 0.0;
+  for (int r = 0; r < m; ++r) dual += solution.row_duals[r] * model.row(r).rhs;
+  for (int j = 0; j < n; ++j) dual += solution.reduced_costs[j] * x[j];
+  if (std::abs(primal - dual) > 1e-4 + tol * (1.0 + std::abs(primal))) {
+    return Status::FailedPrecondition(
+        "duality gap: primal " + std::to_string(primal) + " vs dual " +
+        std::to_string(dual));
+  }
+  return Status::OK();
+}
+
+}  // namespace lp
+}  // namespace prospector

@@ -1,0 +1,33 @@
+#ifndef PROSPECTOR_LP_KKT_H_
+#define PROSPECTOR_LP_KKT_H_
+
+#include "src/lp/model.h"
+#include "src/lp/simplex.h"
+
+namespace prospector {
+namespace lp {
+
+/// Independent optimality certificate: verifies the Karush-Kuhn-Tucker
+/// conditions of a claimed optimal solution against the model, using only
+/// the primal point, row duals and reduced costs — no solver internals.
+/// Checks, within `tol`:
+///   1. primal feasibility (rows and bounds);
+///   2. dual feasibility: each row dual's sign matches its row type, each
+///      reduced cost's sign is consistent with the variable's position
+///      (no improving direction exists);
+///   3. complementary slackness: nonzero duals only on tight rows,
+///      nonzero reduced costs only on variables at a bound;
+///   4. strong duality: c'x = y'b + d'x.
+/// Returns OK when the certificate holds, FailedPrecondition describing
+/// the first violation otherwise.
+///
+/// Used by the test suite to certify simplex results without trusting the
+/// simplex, and available to callers who want belt-and-braces checking of
+/// planner LPs.
+Status VerifyKkt(const Model& model, const Solution& solution,
+                 double tol = 1e-6);
+
+}  // namespace lp
+}  // namespace prospector
+
+#endif  // PROSPECTOR_LP_KKT_H_

@@ -1,0 +1,116 @@
+#include "src/lp/lp_writer.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace prospector {
+namespace lp {
+namespace {
+
+std::string VarName(const Model& model, int j) {
+  const std::string& name = model.variable(j).name;
+  return name.empty() ? "x" + std::to_string(j) : name;
+}
+
+void AppendNumber(std::ostringstream* os, double v) {
+  // LP format dislikes exponents like 1e-05 in some readers; print plainly.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  *os << buf;
+}
+
+void AppendExpression(std::ostringstream* os, const Model& model,
+                      const std::vector<Term>& terms) {
+  // Merge duplicate terms first, as the solver does.
+  std::map<int, double> merged;
+  for (const Term& t : terms) merged[t.var] += t.coeff;
+  bool first = true;
+  for (const auto& [var, coeff] : merged) {
+    if (coeff == 0.0) continue;
+    if (first) {
+      if (coeff < 0) *os << "- ";
+      first = false;
+    } else {
+      *os << (coeff < 0 ? " - " : " + ");
+    }
+    const double mag = std::abs(coeff);
+    if (mag != 1.0) {
+      AppendNumber(os, mag);
+      *os << ' ';
+    }
+    *os << VarName(model, var);
+  }
+  if (first) *os << "0 " << VarName(model, 0);  // empty expression guard
+}
+
+}  // namespace
+
+std::string WriteLpString(const Model& model) {
+  std::ostringstream os;
+  os << (model.sense() == Sense::kMaximize ? "Maximize" : "Minimize") << "\n";
+  {
+    std::vector<Term> obj;
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (model.variable(j).objective != 0.0) {
+        obj.push_back({j, model.variable(j).objective});
+      }
+    }
+    os << " obj: ";
+    AppendExpression(&os, model, obj);
+    os << "\n";
+  }
+  os << "Subject To\n";
+  for (int r = 0; r < model.num_rows(); ++r) {
+    const Row& row = model.row(r);
+    os << ' ' << (row.name.empty() ? "r" + std::to_string(r) : row.name)
+       << ": ";
+    AppendExpression(&os, model, row.terms);
+    switch (row.type) {
+      case RowType::kLessEqual: os << " <= "; break;
+      case RowType::kGreaterEqual: os << " >= "; break;
+      case RowType::kEqual: os << " = "; break;
+    }
+    AppendNumber(&os, row.rhs);
+    os << "\n";
+  }
+  os << "Bounds\n";
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const Variable& v = model.variable(j);
+    const bool lo_fin = v.lower != -kInfinity;
+    const bool up_fin = v.upper != kInfinity;
+    os << ' ';
+    if (!lo_fin && !up_fin) {
+      os << VarName(model, j) << " free";
+    } else if (lo_fin && up_fin && v.lower == v.upper) {
+      os << VarName(model, j) << " = ";
+      AppendNumber(&os, v.lower);
+    } else {
+      if (lo_fin) {
+        AppendNumber(&os, v.lower);
+        os << " <= ";
+      } else {
+        os << "-inf <= ";
+      }
+      os << VarName(model, j);
+      if (up_fin) {
+        os << " <= ";
+        AppendNumber(&os, v.upper);
+      }
+    }
+    os << "\n";
+  }
+  os << "End\n";
+  return os.str();
+}
+
+Status WriteLpFile(const Model& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << WriteLpString(model);
+  return out.good() ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+}  // namespace lp
+}  // namespace prospector

@@ -1,0 +1,25 @@
+#ifndef PROSPECTOR_LP_LP_WRITER_H_
+#define PROSPECTOR_LP_LP_WRITER_H_
+
+#include <string>
+
+#include "src/lp/model.h"
+#include "src/util/status.h"
+
+namespace prospector {
+namespace lp {
+
+/// Serializes a model in CPLEX LP file format, the lingua franca of LP
+/// debugging: the output loads into CPLEX/Gurobi/GLPK/SCIP unchanged, so a
+/// planner-emitted program can be cross-checked against a reference solver
+/// or inspected by hand. Variables without names are rendered as x<i>,
+/// rows as r<i>.
+std::string WriteLpString(const Model& model);
+
+/// WriteLpString to a file.
+Status WriteLpFile(const Model& model, const std::string& path);
+
+}  // namespace lp
+}  // namespace prospector
+
+#endif  // PROSPECTOR_LP_LP_WRITER_H_

@@ -1,0 +1,98 @@
+#ifndef PROSPECTOR_LP_SIMPLEX_H_
+#define PROSPECTOR_LP_SIMPLEX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lp/model.h"
+#include "src/util/status.h"
+
+namespace prospector {
+namespace lp {
+
+/// Termination state of a solve.
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+inline const char* ToString(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+/// Solver output. `values` holds the primal point for the model's
+/// structural variables (only meaningful when status == kOptimal).
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> values;
+  /// Dual value (shadow price) per row, in the sign convention of the
+  /// model's own sense: the objective's improvement per unit of RHS slack.
+  /// For a <= row of a maximization this is >= 0.
+  std::vector<double> row_duals;
+  /// Reduced cost per structural variable (same sign convention).
+  std::vector<double> reduced_costs;
+  int phase1_iterations = 0;
+  int phase2_iterations = 0;
+  /// Max bound/row violation of the returned point, as re-checked against
+  /// the original model (a numerical health indicator).
+  double primal_residual = 0.0;
+};
+
+/// Tuning knobs; the defaults are appropriate for the LP sizes produced by
+/// the Prospector planners (up to a few thousand rows).
+struct SimplexOptions {
+  /// Dual feasibility / pricing tolerance.
+  double optimality_tol = 1e-9;
+  /// Minimum magnitude for an eligible pivot element.
+  double pivot_tol = 1e-8;
+  /// Feasibility tolerance on phase-1 objective.
+  double feasibility_tol = 1e-7;
+  /// Hard cap on total pivots; <= 0 means "choose from problem size".
+  int max_iterations = 0;
+  /// Consecutive non-improving pivots before switching to Bland's rule
+  /// (anti-cycling); Dantzig pricing resumes once the objective improves.
+  int stall_threshold = 256;
+  /// Refuse (ResourceExhausted) rather than allocate a dense tableau
+  /// larger than this.
+  size_t max_tableau_bytes = size_t{2} * 1024 * 1024 * 1024;
+};
+
+/// Two-phase primal simplex with bounded variables on a dense tableau.
+///
+/// Handles general models: {<=, >=, =} rows, variable bounds including
+/// infinite and fixed ranges, free variables, minimize or maximize.
+/// Rows become equalities via ranged slack variables; artificial variables
+/// are introduced in phase 1 only for rows whose slack basis is infeasible
+/// (none for the all-<= nonnegative-RHS programs built by the planners,
+/// which therefore skip phase 1 entirely).
+///
+/// The implementation follows the textbook bounded-variable method: nonbasic
+/// variables rest at a finite bound (or 0 when free), the ratio test allows
+/// bound flips, Dantzig pricing with a Bland's-rule fallback guards against
+/// cycling, and ties in the ratio test are broken toward the largest pivot
+/// magnitude for numerical stability.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves the model. Returns an error Status for malformed models;
+  /// infeasible/unbounded outcomes are reported inside Solution.
+  Result<Solution> Solve(const Model& model) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace lp
+}  // namespace prospector
+
+#endif  // PROSPECTOR_LP_SIMPLEX_H_

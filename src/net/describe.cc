@@ -1,0 +1,61 @@
+#include "src/net/describe.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace prospector {
+namespace net {
+namespace {
+
+void RenderSubtree(const Topology& topo, int node, const std::string& prefix,
+                   bool last,
+                   const std::function<std::string(int)>& annotate,
+                   std::ostringstream* os) {
+  *os << prefix;
+  if (node != topo.root()) *os << (last ? "`- " : "+- ");
+  *os << node;
+  if (node == topo.root()) {
+    *os << " (root)";
+  } else {
+    *os << " [d=" << topo.depth(node) << ", sub=" << topo.subtree_size(node)
+        << "]";
+  }
+  if (annotate) {
+    const std::string extra = annotate(node);
+    if (!extra.empty()) *os << "  " << extra;
+  }
+  *os << "\n";
+  const std::string child_prefix =
+      node == topo.root() ? prefix : prefix + (last ? "   " : "|  ");
+  const auto& kids = topo.children(node);
+  for (size_t i = 0; i < kids.size(); ++i) {
+    RenderSubtree(topo, kids[i], child_prefix, i + 1 == kids.size(), annotate,
+                  os);
+  }
+}
+
+}  // namespace
+
+std::string DescribeTopology(
+    const Topology& topology,
+    const std::function<std::string(int)>& annotate) {
+  std::ostringstream os;
+  RenderSubtree(topology, topology.root(), "", true, annotate, &os);
+  return os.str();
+}
+
+std::string SummarizeTopology(const Topology& topology) {
+  int leaves = 0, max_fanout = 0;
+  for (int u = 0; u < topology.num_nodes(); ++u) {
+    if (topology.is_leaf(u)) ++leaves;
+    max_fanout =
+        std::max(max_fanout, static_cast<int>(topology.children(u).size()));
+  }
+  std::ostringstream os;
+  os << topology.num_nodes() << " nodes, height " << topology.height() << ", "
+     << leaves << " leaves, max fanout " << max_fanout;
+  return os.str();
+}
+
+}  // namespace net
+}  // namespace prospector

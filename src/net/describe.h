@@ -1,0 +1,31 @@
+#ifndef PROSPECTOR_NET_DESCRIBE_H_
+#define PROSPECTOR_NET_DESCRIBE_H_
+
+#include <functional>
+#include <string>
+
+#include "src/net/topology.h"
+
+namespace prospector {
+namespace net {
+
+/// ASCII rendering of the spanning tree, one node per line:
+///
+///   0 (root)
+///   +- 3 [d=1, sub=4]
+///   |  +- 5 [d=2, sub=1]
+///   ...
+///
+/// Handy in examples and for debugging planner output; annotate holds an
+/// optional per-node suffix (e.g. a plan's bandwidths).
+std::string DescribeTopology(
+    const Topology& topology,
+    const std::function<std::string(int)>& annotate = nullptr);
+
+/// One-line structural summary: node count, height, leaf count, max fanout.
+std::string SummarizeTopology(const Topology& topology);
+
+}  // namespace net
+}  // namespace prospector
+
+#endif  // PROSPECTOR_NET_DESCRIBE_H_

@@ -1,0 +1,71 @@
+#ifndef PROSPECTOR_NET_ENERGY_MODEL_H_
+#define PROSPECTOR_NET_ENERGY_MODEL_H_
+
+namespace prospector {
+namespace net {
+
+/// Communication energy model of Section 2.
+///
+/// The total energy (sender + receiver) of a unicast message carrying `s`
+/// bytes of content is
+///
+///     cost(s) = c_m + c_b * s,
+///
+/// where c_m is a fixed per-message cost (reliable-protocol handshake +
+/// header) and c_b a per-byte cost derived from the radio's send/receive
+/// power and byte rate:  c_b = (P_send + P_recv) / byte_rate.
+///
+/// Defaults approximate a Crossbow MICA2 mote (CC1000 radio): sending at
+/// ~12 mJ/s and receiving at ~6.9 mJ/s over ~12800 bytes/s gives
+/// c_b = (12 + 6.9) / 12800 ~= 0.0015 mJ/byte — the one constant that
+/// survives legibly in the available copy of the paper. The remaining
+/// constants are chosen to preserve the paper's qualitative regime and are
+/// configurable:
+///  * c_m = 0.2 mJ — "high compared with c_b" (equivalent to >100 bytes),
+///    which is what motivates approximate plans visiting node subsets;
+///  * 20 bytes per transported value (2-byte ADC reading + node id +
+///    routing/provenance headers), i.e. ~0.03 mJ per value-hop, making
+///    value transport a meaningful fraction of message cost — required
+///    for the paper's local-filtering results (Figures 5-7) to be
+///    reproducible at all.
+/// Every experiment records the constants used.
+struct EnergyModel {
+  double per_message_mj = 0.2;    ///< c_m
+  double per_byte_mj = 0.0015;    ///< c_b
+  int bytes_per_value = 20;       ///< reading + id + routing headers
+  /// Energy of taking one sensor measurement (Section 4.4, "Modeling
+  /// Other Costs"). 0 by default — the paper's experiments model radio
+  /// only; planners and executors account for it when nonzero ("in order
+  /// for the root to acquire a node, the node must acquire a
+  /// measurement").
+  double acquisition_mj = 0.0;
+
+  /// Energy of one unicast carrying `num_values` readings. A message with
+  /// zero values (a request / trigger) still pays the per-message cost.
+  double MessageCost(int num_values) const {
+    return per_message_mj +
+           per_byte_mj * bytes_per_value * static_cast<double>(num_values);
+  }
+
+  /// Energy of one unicast carrying `num_values` readings plus
+  /// `extra_bytes` of protocol payload (e.g. mop-up range bounds).
+  double MessageCostWithExtra(int num_values, int extra_bytes) const {
+    return MessageCost(num_values) +
+           per_byte_mj * static_cast<double>(extra_bytes);
+  }
+
+  /// Energy of a broadcast trigger with an empty body ("re-execute",
+  /// Section 2): the sender pays one per-message cost; receivers are
+  /// accounted on their own broadcasts as the wave propagates.
+  double BroadcastCost() const { return per_message_mj; }
+
+  /// Marginal cost of one additional value on one edge (used by planners).
+  double PerValueCost() const {
+    return per_byte_mj * static_cast<double>(bytes_per_value);
+  }
+};
+
+}  // namespace net
+}  // namespace prospector
+
+#endif  // PROSPECTOR_NET_ENERGY_MODEL_H_

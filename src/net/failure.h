@@ -1,0 +1,44 @@
+#ifndef PROSPECTOR_NET_FAILURE_H_
+#define PROSPECTOR_NET_FAILURE_H_
+
+#include <vector>
+
+namespace prospector {
+namespace net {
+
+/// Transient-failure model of Section 4.4.
+///
+/// Each tree edge fails independently per message with some probability.
+/// The reliable communication protocol then re-routes the message around
+/// the failed link, costing `reroute_cost_factor` times the normal message
+/// energy. Planners fold this in by inflating each edge's expected cost
+/// (ExpectedCostFactor); the simulator draws actual failures per message.
+struct FailureModel {
+  /// Per-edge failure probability, indexed by child node id. Empty means
+  /// a failure-free network. Missing entries default to 0.
+  std::vector<double> edge_failure_prob;
+  /// Cost multiplier of a re-routed message relative to a direct one.
+  double reroute_cost_factor = 2.0;
+
+  bool enabled() const { return !edge_failure_prob.empty(); }
+
+  double ProbabilityFor(int child_edge) const {
+    if (child_edge < 0 ||
+        child_edge >= static_cast<int>(edge_failure_prob.size())) {
+      return 0.0;
+    }
+    return edge_failure_prob[child_edge];
+  }
+
+  /// Expected multiplicative cost inflation of the edge:
+  /// (1 - p) * 1 + p * reroute_cost_factor.
+  double ExpectedCostFactor(int child_edge) const {
+    const double p = ProbabilityFor(child_edge);
+    return 1.0 + p * (reroute_cost_factor - 1.0);
+  }
+};
+
+}  // namespace net
+}  // namespace prospector
+
+#endif  // PROSPECTOR_NET_FAILURE_H_

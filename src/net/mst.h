@@ -1,0 +1,52 @@
+#ifndef PROSPECTOR_NET_MST_H_
+#define PROSPECTOR_NET_MST_H_
+
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/util/status.h"
+
+namespace prospector {
+namespace net {
+
+/// Distributed minimum-spanning-tree construction over the radio graph —
+/// the technique the paper cites for building and maintaining the routing
+/// tree (Gallager, Humblet, Spira [5]). We implement the synchronous
+/// fragment-merging skeleton of GHS (equivalently, distributed Borůvka):
+/// every fragment finds its minimum-weight outgoing edge each round and
+/// fragments merge along them, finishing in O(log n) rounds. Edge weights
+/// are link distances with a lexicographic (distance, min id, max id)
+/// tie-break, so the MST is unique and the result is checkable against a
+/// centralized Kruskal run (see the tests).
+///
+/// Message accounting follows the protocol's shape: each round every node
+/// probes its incident candidate edges (one test/reject exchange each),
+/// fragments convergecast their local minima and broadcast the chosen
+/// merge edge (two messages per fragment node).
+struct DistributedMstResult {
+  /// The MST rooted at node 0.
+  Topology topology;
+  /// Total protocol messages exchanged during construction.
+  int64_t messages = 0;
+  /// Synchronous merge rounds until a single fragment remained.
+  int rounds = 0;
+  /// Sum of tree edge lengths (meters) — the MST objective.
+  double total_weight = 0.0;
+};
+
+/// Runs the construction over nodes at `positions` with the given radio
+/// range. Fails with FailedPrecondition if the radio graph is
+/// disconnected.
+Result<DistributedMstResult> BuildDistributedMst(
+    const std::vector<Point>& positions, double radio_range);
+
+/// Centralized reference: Kruskal over the same radio graph and tie-break
+/// order; returns the MST edge list as (min id, max id) pairs sorted
+/// lexicographically. Used to validate the distributed construction.
+Result<std::vector<std::pair<int, int>>> KruskalReference(
+    const std::vector<Point>& positions, double radio_range);
+
+}  // namespace net
+}  // namespace prospector
+
+#endif  // PROSPECTOR_NET_MST_H_

@@ -1,0 +1,35 @@
+#ifndef PROSPECTOR_NET_REBUILD_H_
+#define PROSPECTOR_NET_REBUILD_H_
+
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/util/status.h"
+
+namespace prospector {
+namespace net {
+
+/// Outcome of excluding permanently failed nodes (Section 4.4: "If a node
+/// is non-functioning for an extended period of time, the tree adjusts to
+/// exclude the node. The plan is then re-optimized based on the new
+/// topology.").
+struct RebuiltTopology {
+  Topology topology;
+  /// old node id -> new node id; dead or newly-unreachable nodes map to -1.
+  std::vector<int> new_id;
+  /// Nodes that survived but lost radio connectivity to the root when the
+  /// dead nodes disappeared (they are excluded too).
+  std::vector<int> orphaned;
+};
+
+/// Rebuilds the minimum-hop spanning tree over the surviving nodes' radio
+/// graph. Requires a geometric topology (positions) so connectivity can be
+/// re-derived; the root (node 0) must not be among the dead.
+Result<RebuiltTopology> RebuildWithoutNodes(const Topology& topology,
+                                            const std::vector<int>& dead_nodes,
+                                            double radio_range);
+
+}  // namespace net
+}  // namespace prospector
+
+#endif  // PROSPECTOR_NET_REBUILD_H_

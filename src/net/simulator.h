@@ -1,0 +1,143 @@
+#ifndef PROSPECTOR_NET_SIMULATOR_H_
+#define PROSPECTOR_NET_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/energy_model.h"
+#include "src/net/failure.h"
+#include "src/net/topology.h"
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace net {
+
+/// Aggregate accounting of one or more simulated phases.
+struct TransmissionStats {
+  double total_energy_mj = 0.0;
+  int unicast_messages = 0;
+  int broadcast_messages = 0;
+  int64_t values_transmitted = 0;
+  int reroutes = 0;
+  int acquisitions = 0;
+  /// Energy attributed per node (sender side of each message).
+  std::vector<double> per_node_energy_mj;
+
+  void Accumulate(const TransmissionStats& other) {
+    total_energy_mj += other.total_energy_mj;
+    unicast_messages += other.unicast_messages;
+    broadcast_messages += other.broadcast_messages;
+    values_transmitted += other.values_transmitted;
+    reroutes += other.reroutes;
+    acquisitions += other.acquisitions;
+    if (per_node_energy_mj.size() < other.per_node_energy_mj.size()) {
+      per_node_energy_mj.resize(other.per_node_energy_mj.size(), 0.0);
+    }
+    for (size_t i = 0; i < other.per_node_energy_mj.size(); ++i) {
+      per_node_energy_mj[i] += other.per_node_energy_mj[i];
+    }
+  }
+};
+
+/// Message-level simulator of the network's MAC layer, per Section 5:
+/// only communication costs are modeled. Executors call Unicast/Broadcast
+/// as their protocol sends messages; the simulator draws transient edge
+/// failures, charges re-routing, and keeps the energy ledger.
+class NetworkSimulator {
+ public:
+  NetworkSimulator(const Topology* topology, EnergyModel energy,
+                   FailureModel failures = {}, uint64_t seed = 1)
+      : topology_(topology),
+        energy_(energy),
+        failures_(failures),
+        rng_(seed) {
+    stats_.per_node_energy_mj.assign(topology->num_nodes(), 0.0);
+  }
+
+  const Topology& topology() const { return *topology_; }
+  const EnergyModel& energy_model() const { return energy_; }
+  const FailureModel& failure_model() const { return failures_; }
+
+  /// Unicast along the tree edge owned by `child_edge`, in either
+  /// direction (child->parent collection or parent->child request): the
+  /// energy cost is symmetric. `num_values` readings plus `extra_bytes`
+  /// protocol payload. Returns the charged energy.
+  double Unicast(int child_edge, int num_values, int extra_bytes = 0) {
+    double cost = energy_.MessageCostWithExtra(num_values, extra_bytes);
+    if (failures_.enabled() &&
+        rng_.Bernoulli(failures_.ProbabilityFor(child_edge))) {
+      cost *= failures_.reroute_cost_factor;
+      ++stats_.reroutes;
+    }
+    stats_.total_energy_mj += cost;
+    ++stats_.unicast_messages;
+    stats_.values_transmitted += num_values;
+    stats_.per_node_energy_mj[child_edge] += cost;
+    return cost;
+  }
+
+  /// Empty-body broadcast by `node` (query trigger, Section 2). One
+  /// per-message cost regardless of the number of listening children.
+  double Broadcast(int node) { return BroadcastPayload(node, 0); }
+
+  /// Broadcast carrying `extra_bytes` of payload (e.g. a mop-up request's
+  /// count and range bounds).
+  double BroadcastPayload(int node, int extra_bytes) {
+    const double cost = energy_.BroadcastCost() +
+                        energy_.per_byte_mj * static_cast<double>(extra_bytes);
+    stats_.total_energy_mj += cost;
+    ++stats_.broadcast_messages;
+    stats_.per_node_energy_mj[node] += cost;
+    return cost;
+  }
+
+  /// Charges one sensor measurement at `node` (Section 4.4); free when
+  /// the energy model sets no acquisition cost.
+  double ChargeAcquisition(int node) {
+    const double cost = energy_.acquisition_mj;
+    if (cost > 0.0) {
+      stats_.total_energy_mj += cost;
+      ++stats_.acquisitions;
+      stats_.per_node_energy_mj[node] += cost;
+    }
+    return cost;
+  }
+
+  /// Expected cost of sending `num_values` readings along `child_edge`,
+  /// failure inflation included — the figure planners use (Section 4.4:
+  /// "increase the cost of each edge by the product of its failure
+  /// probability and the extra cost incurred by re-routing").
+  double ExpectedUnicastCost(int child_edge, int num_values) const {
+    return energy_.MessageCost(num_values) *
+           failures_.ExpectedCostFactor(child_edge);
+  }
+
+  const TransmissionStats& stats() const { return stats_; }
+
+  /// Clears the ledger (e.g. between the distribution accounting and the
+  /// collection phase, or between query epochs).
+  void ResetStats() {
+    stats_ = TransmissionStats{};
+    stats_.per_node_energy_mj.assign(topology_->num_nodes(), 0.0);
+  }
+
+  /// Takes the current ledger and resets it — convenient for per-phase
+  /// breakdowns.
+  TransmissionStats TakeStats() {
+    TransmissionStats out = stats_;
+    ResetStats();
+    return out;
+  }
+
+ private:
+  const Topology* topology_;
+  EnergyModel energy_;
+  FailureModel failures_;
+  Rng rng_;
+  TransmissionStats stats_;
+};
+
+}  // namespace net
+}  // namespace prospector
+
+#endif  // PROSPECTOR_NET_SIMULATOR_H_

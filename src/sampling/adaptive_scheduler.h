@@ -1,0 +1,92 @@
+#ifndef PROSPECTOR_SAMPLING_ADAPTIVE_SCHEDULER_H_
+#define PROSPECTOR_SAMPLING_ADAPTIVE_SCHEDULER_H_
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace prospector {
+namespace sampling {
+
+/// Chooses the re-sampling rate online with multiplicative weights — the
+/// "exploration/exploitation framework from the machine learning
+/// literature" (Littlestone & Warmuth's weighted majority) the paper cites
+/// for deciding when to spend energy on full-network sweeps (Section 3)
+/// and adapting the rate to model drift (Section 4.4).
+///
+/// Each candidate exploration rate is an expert. Periodically the caller
+/// reports the achieved reward (e.g. query accuracy minus an energy
+/// penalty for the sweeps spent); the chosen expert's weight is scaled by
+/// beta^loss, so persistently poor rates fade and the scheduler tracks
+/// the environment's drift speed.
+class AdaptiveScheduler {
+ public:
+  /// `rates` are the candidate exploration probabilities;
+  /// `beta` in (0,1) is the weighted-majority demotion factor.
+  explicit AdaptiveScheduler(std::vector<double> rates, double beta = 0.7)
+      : rates_(std::move(rates)), beta_(beta),
+        weights_(rates_.size(), 1.0) {}
+
+  static AdaptiveScheduler Default() {
+    return AdaptiveScheduler({0.01, 0.05, 0.15, 0.35});
+  }
+
+  int num_arms() const { return static_cast<int>(rates_.size()); }
+  double rate(int arm) const { return rates_[arm]; }
+
+  /// Current selection probability of each arm (normalized weights).
+  std::vector<double> Probabilities() const {
+    std::vector<double> p(weights_);
+    double sum = 0.0;
+    for (double w : p) sum += w;
+    for (double& w : p) w /= sum;
+    return p;
+  }
+
+  /// Draws an arm according to the current weights.
+  int ChooseArm(Rng* rng) const {
+    const std::vector<double> p = Probabilities();
+    double u = rng->NextDouble();
+    for (int a = 0; a < num_arms(); ++a) {
+      u -= p[a];
+      if (u <= 0.0) return a;
+    }
+    return num_arms() - 1;
+  }
+
+  /// Reports the loss (in [0,1]; 0 = perfect period) of the arm used for
+  /// the last period. Weighted-majority update: w *= beta^loss.
+  Status ReportLoss(int arm, double loss) {
+    if (arm < 0 || arm >= num_arms()) {
+      return Status::InvalidArgument("unknown arm");
+    }
+    if (loss < 0.0 || loss > 1.0) {
+      return Status::InvalidArgument("loss must be in [0, 1]");
+    }
+    weights_[arm] *= std::pow(beta_, loss);
+    // Keep weights away from 0 so the scheduler can recover after drift
+    // (the standard fixed-share-style floor).
+    double sum = 0.0;
+    for (double w : weights_) sum += w;
+    const double floor = 1e-4 * sum / num_arms();
+    for (double& w : weights_) w = std::max(w, floor);
+    return Status::OK();
+  }
+
+  /// Convenience: reward in [0,1] (1 = perfect) instead of loss.
+  Status ReportReward(int arm, double reward) {
+    return ReportLoss(arm, 1.0 - reward);
+  }
+
+ private:
+  std::vector<double> rates_;
+  double beta_;
+  std::vector<double> weights_;
+};
+
+}  // namespace sampling
+}  // namespace prospector
+
+#endif  // PROSPECTOR_SAMPLING_ADAPTIVE_SCHEDULER_H_

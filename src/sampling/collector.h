@@ -1,0 +1,72 @@
+#ifndef PROSPECTOR_SAMPLING_COLLECTOR_H_
+#define PROSPECTOR_SAMPLING_COLLECTOR_H_
+
+#include <vector>
+
+#include "src/net/simulator.h"
+#include "src/sampling/sample_set.h"
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace sampling {
+
+/// Exploration/exploitation sample acquisition (Section 3): "at randomly
+/// chosen timesteps, we spend more energy to collect all values in the
+/// network and use them as a sample."
+///
+/// A full sweep makes every node forward its entire subtree's readings to
+/// the root, so its energy cost is one message per edge, each carrying
+/// subtree_size(child) values — charged against the simulator's ledger so
+/// experiments can amortize sampling cost honestly.
+class SampleCollector {
+ public:
+  explicit SampleCollector(double explore_probability = 0.05)
+      : explore_probability_(explore_probability) {}
+
+  /// Should this timestep be an exploration (full-sweep) step?
+  bool ShouldExplore(Rng* rng) const {
+    return rng->Bernoulli(explore_probability_);
+  }
+
+  /// Charges a full network sweep to `sim` and appends `truth` to `samples`.
+  /// Returns the energy spent.
+  double CollectSample(const std::vector<double>& truth,
+                       net::NetworkSimulator* sim, SampleSet* samples) const {
+    const net::Topology& topo = sim->topology();
+    double spent = 0.0;
+    // Trigger broadcast propagates down every internal node.
+    for (int u : topo.PreOrder()) {
+      if (!topo.is_leaf(u)) spent += sim->Broadcast(u);
+    }
+    // Collection: every edge carries the child's whole subtree.
+    for (int u : topo.PostOrder()) {
+      if (u == topo.root()) continue;
+      spent += sim->Unicast(u, topo.subtree_size(u));
+    }
+    samples->Add(truth);
+    return spent;
+  }
+
+  /// Cost of one sweep without executing it (for planning/amortization).
+  double SweepCost(const net::NetworkSimulator& sim) const {
+    const net::Topology& topo = sim.topology();
+    double cost = 0.0;
+    for (int u = 0; u < topo.num_nodes(); ++u) {
+      if (!topo.is_leaf(u)) cost += sim.energy_model().BroadcastCost();
+      if (u != topo.root()) {
+        cost += sim.ExpectedUnicastCost(u, topo.subtree_size(u));
+      }
+    }
+    return cost;
+  }
+
+  double explore_probability() const { return explore_probability_; }
+
+ private:
+  double explore_probability_;
+};
+
+}  // namespace sampling
+}  // namespace prospector
+
+#endif  // PROSPECTOR_SAMPLING_COLLECTOR_H_

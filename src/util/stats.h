@@ -1,0 +1,71 @@
+#ifndef PROSPECTOR_UTIL_STATS_H_
+#define PROSPECTOR_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace prospector {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two points.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the indices of the k largest elements of `values`, in descending
+/// value order. Ties are broken by lower index first (deterministic).
+/// If k >= values.size(), all indices are returned.
+inline std::vector<int> TopKIndices(const std::vector<double>& values, int k) {
+  std::vector<int> idx(values.size());
+  for (size_t i = 0; i < values.size(); ++i) idx[i] = static_cast<int>(i);
+  const size_t kk = std::min<size_t>(static_cast<size_t>(std::max(k, 0)),
+                                     values.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(kk),
+                    idx.end(), [&](int a, int b) {
+                      if (values[a] != values[b]) return values[a] > values[b];
+                      return a < b;
+                    });
+  idx.resize(kk);
+  return idx;
+}
+
+/// Exact quantile of a copy of `values` (linear interpolation, q in [0,1]).
+inline double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace prospector
+
+#endif  // PROSPECTOR_UTIL_STATS_H_

@@ -1,0 +1,118 @@
+// Section 4.4 "Modeling Other Costs": sensor acquisition energy folded
+// into planning and execution.
+
+#include <gtest/gtest.h>
+
+#include "src/core/exact.h"
+#include "src/core/executor.h"
+#include "src/core/greedy_planner.h"
+#include "src/core/lp_filter_planner.h"
+#include "src/core/lp_no_filter_planner.h"
+#include "src/core/naive.h"
+#include "src/data/gaussian_field.h"
+#include "src/net/simulator.h"
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace core {
+namespace {
+
+net::EnergyModel WithAcquisition(double mj) {
+  net::EnergyModel e;
+  e.acquisition_mj = mj;
+  return e;
+}
+
+TEST(AcquisitionTest, ExecutorChargesOnePerParticipant) {
+  net::Topology topo = net::BuildChain(4);
+  net::NetworkSimulator sim(&topo, WithAcquisition(0.5));
+  QueryPlan p = QueryPlan::Bandwidth(2, {0, 2, 2, 1});
+  const std::vector<double> truth{1, 2, 3, 4};
+  auto r = CollectionExecutor::Execute(p, truth, &sim,
+                                       /*include_trigger=*/false);
+  EXPECT_EQ(sim.stats().acquisitions, 3);  // nodes 1..3; the root is free
+  // The expected-cost model agrees with the charged ledger.
+  net::NetworkSimulator fresh(&topo, WithAcquisition(0.5));
+  EXPECT_NEAR(ExpectedCollectionCost(p, fresh),
+              r.collection_energy_mj, 1e-9);
+}
+
+TEST(AcquisitionTest, NodeSelectionChargesOnlyChosen) {
+  net::Topology topo = net::BuildStar(5);
+  net::NetworkSimulator sim(&topo, WithAcquisition(0.5));
+  QueryPlan p = QueryPlan::NodeSelection(2, {0, 1, 0, 1, 0}, topo);
+  const std::vector<double> truth{1, 2, 3, 4, 5};
+  CollectionExecutor::Execute(p, truth, &sim, /*include_trigger=*/false);
+  EXPECT_EQ(sim.stats().acquisitions, 2);
+}
+
+TEST(AcquisitionTest, ZeroCostLeavesLedgerUntouched) {
+  net::Topology topo = net::BuildChain(3);
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  QueryPlan p = MakeNaiveKPlan(topo, 2);
+  CollectionExecutor::Execute(p, {1, 2, 3}, &sim);
+  EXPECT_EQ(sim.stats().acquisitions, 0);
+}
+
+TEST(AcquisitionTest, PlannersRespectBudgetIncludingAcquisition) {
+  Rng rng(19);
+  net::GeometricNetworkOptions geo;
+  geo.num_nodes = 50;
+  geo.radio_range = 26.0;
+  auto topo = net::BuildConnectedGeometricNetwork(geo, &rng).value();
+  data::GaussianField field =
+      data::GaussianField::Random(50, 40, 60, 1, 16, &rng);
+  sampling::SampleSet samples = sampling::SampleSet::ForTopK(50, 8);
+  for (int s = 0; s < 12; ++s) samples.Add(field.Sample(&rng));
+
+  PlannerContext cheap_ctx;
+  cheap_ctx.topology = &topo;
+  PlannerContext dear_ctx = cheap_ctx;
+  dear_ctx.energy.acquisition_mj = 0.4;  // measuring costs 2 messages
+
+  const PlanRequest req{8, 10.0};
+  LpFilterPlanner lp_lf;
+  LpNoFilterPlanner lp_no_lf;
+  GreedyPlanner greedy;
+  for (Planner* p : std::initializer_list<Planner*>{&lp_lf, &lp_no_lf,
+                                                    &greedy}) {
+    auto cheap = p->Plan(cheap_ctx, samples, req);
+    auto dear = p->Plan(dear_ctx, samples, req);
+    ASSERT_TRUE(cheap.ok());
+    ASSERT_TRUE(dear.ok());
+    // Costly sensing buys fewer nodes under the same budget.
+    EXPECT_LE(dear->CountVisitedNodes(topo), cheap->CountVisitedNodes(topo))
+        << p->name();
+    // And the budget holds under the acquisition-aware cost model.
+    net::NetworkSimulator dear_sim(&topo, dear_ctx.energy);
+    EXPECT_LE(ExpectedCollectionCost(*dear, dear_sim),
+              req.energy_budget_mj + 1e-6)
+        << p->name();
+  }
+}
+
+TEST(AcquisitionTest, ExactPipelineStillExact) {
+  Rng rng(23);
+  net::Topology topo = net::BuildRandomTree(20, 3, &rng);
+  PlannerContext ctx;
+  ctx.topology = &topo;
+  ctx.energy.acquisition_mj = 0.3;
+  sampling::SampleSet samples = sampling::SampleSet::ForTopK(20, 4);
+  std::vector<double> truth(20);
+  for (int s = 0; s < 6; ++s) {
+    for (double& v : truth) v = rng.Uniform(0.0, 100.0);
+    samples.Add(truth);
+  }
+  for (double& v : truth) v = rng.Uniform(0.0, 100.0);
+  net::NetworkSimulator sim(&topo, ctx.energy);
+  auto exact = RunProspectorExact(ctx, samples, 4,
+                                  ProofPlanner::MinimumCost(ctx) * 1.2,
+                                  truth, &sim);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_EQ(exact->answer, TrueTopK(truth, 4));
+  EXPECT_EQ(sim.stats().acquisitions, 19);  // every sensing node, once
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace prospector

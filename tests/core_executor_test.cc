@@ -1,0 +1,178 @@
+#include "src/core/executor.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/naive.h"
+#include "src/core/oracle.h"
+#include "src/core/plan_eval.h"
+#include "src/net/simulator.h"
+#include "src/sampling/sample_set.h"
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace core {
+namespace {
+
+std::vector<double> RandomTruth(int n, Rng* rng) {
+  std::vector<double> v(n);
+  for (int i = 0; i < n; ++i) v[i] = rng->Uniform(0.0, 100.0);
+  return v;
+}
+
+TEST(CollectionExecutorTest, LocalFilteringKeepsTopB) {
+  // Chain 0<-1<-2<-3 with bandwidths 1 everywhere: each hop keeps only the
+  // best value seen so far.
+  net::Topology topo = net::BuildChain(4);
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  QueryPlan p = QueryPlan::Bandwidth(1, {0, 1, 1, 1});
+  const std::vector<double> truth{5, 1, 9, 3};
+  ExecutionResult r = CollectionExecutor::Execute(p, truth, &sim);
+  ASSERT_EQ(r.answer.size(), 1u);
+  EXPECT_EQ(r.answer[0].node, 2);  // 9 survives the filtering
+  EXPECT_EQ(r.arrived.size(), 2u); // the filtered value + root's own
+  EXPECT_EQ(sim.stats().values_transmitted, 3);  // one value per edge
+}
+
+TEST(CollectionExecutorTest, ZeroBandwidthSendsNothing) {
+  net::Topology topo = net::BuildChain(3);
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  QueryPlan p = QueryPlan::Bandwidth(2, {0, 0, 2});
+  p.Normalize(topo);
+  const std::vector<double> truth{1, 2, 3};
+  ExecutionResult r = CollectionExecutor::Execute(p, truth, &sim,
+                                                  /*include_trigger=*/false);
+  EXPECT_EQ(sim.stats().unicast_messages, 0);
+  ASSERT_EQ(r.answer.size(), 1u);  // only the root's own reading
+  EXPECT_EQ(r.answer[0].node, 0);
+}
+
+TEST(CollectionExecutorTest, NodeSelectionForwardsWithoutFiltering) {
+  // Root with child 1, grandchildren 2,3. Choose 2 and 3 only.
+  auto topo = net::Topology::FromParents({-1, 0, 1, 1}).value();
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  QueryPlan p = QueryPlan::NodeSelection(1, {0, 0, 1, 1}, topo);
+  const std::vector<double> truth{0, 100, 5, 7};  // node 1 is high but unchosen
+  ExecutionResult r = CollectionExecutor::Execute(p, truth, &sim);
+  // Both chosen values arrive even though node 1's own larger value exists.
+  std::set<int> arrived_nodes;
+  for (const Reading& x : r.arrived) arrived_nodes.insert(x.node);
+  EXPECT_EQ(arrived_nodes, (std::set<int>{0, 2, 3}));
+  // Edge 1 carried both values in one message.
+  EXPECT_EQ(sim.stats().unicast_messages, 3);
+  EXPECT_EQ(sim.stats().values_transmitted, 4);
+}
+
+TEST(CollectionExecutorTest, RecallMetric) {
+  net::Topology topo = net::BuildStar(5);
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  const std::vector<double> truth{0, 10, 20, 30, 40};
+  // Choose only node 4 (the max). k=2: true top-2 = {4, 3}.
+  QueryPlan p = QueryPlan::NodeSelection(2, {0, 0, 0, 0, 1}, topo);
+  ExecutionResult r = CollectionExecutor::Execute(p, truth, &sim);
+  EXPECT_DOUBLE_EQ(TopKRecall(r, truth, 2), 0.5);
+}
+
+class NaiveKPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NaiveKPropertyTest, AlwaysExact) {
+  Rng rng(GetParam());
+  const int n = 10 + static_cast<int>(rng.UniformInt(uint64_t{40}));
+  const int k = 1 + static_cast<int>(rng.UniformInt(uint64_t{10}));
+  net::Topology topo = net::BuildRandomTree(n, 4, &rng);
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  const std::vector<double> truth = RandomTruth(n, &rng);
+  QueryPlan p = MakeNaiveKPlan(topo, k);
+  ExecutionResult r = CollectionExecutor::Execute(p, truth, &sim);
+  EXPECT_EQ(r.answer, TrueTopK(truth, k));
+  EXPECT_DOUBLE_EQ(TopKRecall(r, truth, k), 1.0);
+  // Minimum possible message count: one per edge.
+  EXPECT_EQ(sim.stats().unicast_messages, n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaiveKPropertyTest, ::testing::Range(1, 30));
+
+class Naive1PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Naive1PropertyTest, ExactButManyMessages) {
+  Rng rng(100 + GetParam());
+  const int n = 8 + static_cast<int>(rng.UniformInt(uint64_t{25}));
+  const int k = 1 + static_cast<int>(rng.UniformInt(uint64_t{6}));
+  net::Topology topo = net::BuildRandomTree(n, 3, &rng);
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  const std::vector<double> truth = RandomTruth(n, &rng);
+  Naive1Result r = Naive1Executor::Execute(truth, k, &sim);
+  EXPECT_EQ(r.answer, TrueTopK(truth, k));
+  // Every transported value costs a request + response message pair, and
+  // values can be re-transported once per hop.
+  EXPECT_GE(r.messages, 2 * std::min(k, n - 1));
+  EXPECT_EQ(r.messages, sim.stats().unicast_messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Naive1PropertyTest, ::testing::Range(1, 30));
+
+TEST(Naive1Test, MoreExpensivePerValueThanNaiveK) {
+  Rng rng(77);
+  const int n = 40, k = 10;
+  net::Topology topo = net::BuildRandomTree(n, 3, &rng);
+  const std::vector<double> truth = RandomTruth(n, &rng);
+
+  net::NetworkSimulator sim_k(&topo, net::EnergyModel{});
+  CollectionExecutor::Execute(MakeNaiveKPlan(topo, k), truth, &sim_k,
+                              /*include_trigger=*/false);
+  net::NetworkSimulator sim_1(&topo, net::EnergyModel{});
+  Naive1Executor::Execute(truth, k, &sim_1);
+  // The per-message overhead makes the pipelined algorithm far costlier.
+  EXPECT_GT(sim_1.stats().total_energy_mj, sim_k.stats().total_energy_mj);
+}
+
+TEST(OracleTest, ExactAtMinimalCost) {
+  Rng rng(13);
+  const int n = 30, k = 5;
+  net::Topology topo = net::BuildRandomTree(n, 3, &rng);
+  const std::vector<double> truth = RandomTruth(n, &rng);
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  QueryPlan p = MakeOraclePlan(topo, truth, k);
+  ExecutionResult r = CollectionExecutor::Execute(p, truth, &sim);
+  EXPECT_DOUBLE_EQ(TopKRecall(r, truth, k), 1.0);
+  EXPECT_LE(p.CountVisitedNodes(topo), k + 1);
+}
+
+class SampleHitsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SampleHitsPropertyTest, PredictsExecutorDeliveries) {
+  // SampleHits (the planners' objective surrogate) must equal the number
+  // of top-k values the executor actually delivers on that sample.
+  Rng rng(500 + GetParam());
+  const int n = 12 + static_cast<int>(rng.UniformInt(uint64_t{25}));
+  const int k = 1 + static_cast<int>(rng.UniformInt(uint64_t{6}));
+  net::Topology topo = net::BuildRandomTree(n, 4, &rng);
+  const std::vector<double> truth = RandomTruth(n, &rng);
+
+  sampling::SampleSet samples = sampling::SampleSet::ForTopK(n, k);
+  samples.Add(truth);
+
+  std::vector<int> bw(n, 0);
+  for (int e = 1; e < n; ++e) {
+    bw[e] = static_cast<int>(rng.UniformInt(uint64_t{4}));  // 0..3
+  }
+  QueryPlan p = QueryPlan::Bandwidth(k, std::move(bw));
+  p.Normalize(topo);
+
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  ExecutionResult r = CollectionExecutor::Execute(p, truth, &sim);
+  std::vector<char> arrived(n, 0);
+  for (const Reading& x : r.arrived) arrived[x.node] = 1;
+  int delivered = 0;
+  for (const Reading& x : TrueTopK(truth, k)) delivered += arrived[x.node];
+  EXPECT_EQ(SampleHitsForSample(p, topo, samples, 0), delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SampleHitsPropertyTest,
+                         ::testing::Range(1, 40));
+
+}  // namespace
+}  // namespace core
+}  // namespace prospector

@@ -1,0 +1,85 @@
+#include "src/core/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/describe.h"
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace core {
+namespace {
+
+const net::EnergyModel kEnergy{};
+const RadioTiming kTiming{};
+
+double Tx(int values) {
+  return kTiming.TransmissionSeconds(values * kEnergy.bytes_per_value);
+}
+
+TEST(LatencyTest, ChainIsFullySequential) {
+  net::Topology topo = net::BuildChain(4);
+  QueryPlan p = QueryPlan::Bandwidth(1, {0, 1, 1, 1});
+  const double latency =
+      EstimateCollectionLatency(p, topo, kEnergy, kTiming);
+  EXPECT_NEAR(latency, 3 * Tx(1), 1e-12);
+}
+
+TEST(LatencyTest, StarSerializesOnTheRootRadio) {
+  net::Topology topo = net::BuildStar(5);
+  QueryPlan p = QueryPlan::Bandwidth(1, {0, 1, 1, 1, 1});
+  const double latency =
+      EstimateCollectionLatency(p, topo, kEnergy, kTiming);
+  EXPECT_NEAR(latency, 4 * Tx(1), 1e-12);
+}
+
+TEST(LatencyTest, ParallelBranchesOverlap) {
+  // Two chains of length 3 under the root: deeper transmissions overlap,
+  // only the final hop serializes at the root.
+  auto topo = net::Topology::FromParents({-1, 0, 1, 2, 0, 4, 5}).value();
+  std::vector<int> bw(7, 1);
+  bw[0] = 0;
+  QueryPlan p = QueryPlan::Bandwidth(1, std::move(bw));
+  const double latency =
+      EstimateCollectionLatency(p, topo, kEnergy, kTiming);
+  // Each branch needs 2*Tx before its root-adjacent node is ready; the two
+  // final hops serialize: ready at 2Tx, second finishes at 2Tx + 2Tx.
+  EXPECT_NEAR(latency, 4 * Tx(1), 1e-12);
+  // Strictly better than a fully sequential schedule of 6 messages.
+  EXPECT_LT(latency, 6 * Tx(1));
+}
+
+TEST(LatencyTest, ZeroBandwidthEdgesDoNotTransmit) {
+  net::Topology topo = net::BuildStar(4);
+  QueryPlan p = QueryPlan::Bandwidth(1, {0, 1, 0, 0});
+  EXPECT_NEAR(EstimateCollectionLatency(p, topo, kEnergy, kTiming),
+              Tx(1), 1e-12);
+}
+
+TEST(LatencyTest, BiggerMessagesTakeLonger) {
+  net::Topology topo = net::BuildChain(2);
+  QueryPlan small = QueryPlan::Bandwidth(1, {0, 1});
+  QueryPlan big = QueryPlan::Bandwidth(10, {0, 10});
+  EXPECT_LT(EstimateCollectionLatency(small, topo, kEnergy, kTiming),
+            EstimateCollectionLatency(big, topo, kEnergy, kTiming));
+}
+
+TEST(DescribeTest, RendersTreeAndSummary) {
+  auto topo = net::Topology::FromParents({-1, 0, 0, 1}).value();
+  const std::string art = net::DescribeTopology(topo);
+  EXPECT_NE(art.find("0 (root)"), std::string::npos);
+  EXPECT_NE(art.find("+- 1 [d=1, sub=2]"), std::string::npos);
+  EXPECT_NE(art.find("`- 3 [d=2, sub=1]"), std::string::npos);
+  const std::string sum = net::SummarizeTopology(topo);
+  EXPECT_EQ(sum, "4 nodes, height 2, 2 leaves, max fanout 2");
+}
+
+TEST(DescribeTest, AnnotationHook) {
+  auto topo = net::Topology::FromParents({-1, 0}).value();
+  const std::string art = net::DescribeTopology(
+      topo, [](int node) { return node == 1 ? "b=3" : ""; });
+  EXPECT_NE(art.find("b=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace prospector

@@ -1,0 +1,130 @@
+#include "src/core/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/reading.h"
+#include "src/net/simulator.h"
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace core {
+namespace {
+
+TEST(ReadingTest, RankingOrder) {
+  EXPECT_TRUE(ReadingRanksHigher({1, 5.0}, {2, 3.0}));
+  EXPECT_FALSE(ReadingRanksHigher({1, 3.0}, {2, 5.0}));
+  // Tie: lower node id ranks higher.
+  EXPECT_TRUE(ReadingRanksHigher({1, 5.0}, {2, 5.0}));
+  EXPECT_FALSE(ReadingRanksHigher({2, 5.0}, {1, 5.0}));
+}
+
+TEST(ReadingTest, TrueTopK) {
+  std::vector<Reading> top = TrueTopK({1, 9, 3, 7}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 1);
+  EXPECT_EQ(top[1].node, 3);
+}
+
+TEST(QueryPlanTest, NodeSelectionDerivesBandwidths) {
+  // Chain 0<-1<-2<-3; choose nodes 2 and 3.
+  net::Topology topo = net::BuildChain(4);
+  QueryPlan p = QueryPlan::NodeSelection(2, {0, 0, 1, 1}, topo);
+  EXPECT_EQ(p.bandwidth, (std::vector<int>{0, 2, 2, 1}));
+  EXPECT_EQ(p.CountVisitedNodes(topo), 3);  // root + 2 chosen
+}
+
+TEST(QueryPlanTest, NormalizeClampsAndPropagatesZeros) {
+  net::Topology topo = net::BuildChain(4);
+  QueryPlan p = QueryPlan::Bandwidth(2, {0, 5, 0, 3});
+  p.Normalize(topo);
+  EXPECT_EQ(p.bandwidth[1], 3);  // clamped to subtree size
+  EXPECT_EQ(p.bandwidth[2], 0);
+  EXPECT_EQ(p.bandwidth[3], 0);  // unreachable: parent edge carries nothing
+}
+
+TEST(QueryPlanTest, NormalizeKeepsRootChildren) {
+  auto topo = net::Topology::FromParents({-1, 0, 1, 0}).value();
+  QueryPlan p = QueryPlan::Bandwidth(2, {0, 1, 1, 2});
+  p.Normalize(topo);
+  EXPECT_EQ(p.bandwidth[1], 1);
+  EXPECT_EQ(p.bandwidth[2], 1);
+  EXPECT_EQ(p.bandwidth[3], 1);  // clamped to its subtree size of 1
+}
+
+TEST(QueryPlanTest, DebugStringListsUsedEdges) {
+  net::Topology topo = net::BuildChain(3);
+  QueryPlan p = QueryPlan::Bandwidth(2, {0, 2, 1}, /*proof_carrying=*/true);
+  const std::string s = p.DebugString(topo);
+  EXPECT_NE(s.find("proof-carrying"), std::string::npos);
+  EXPECT_NE(s.find("e1->0:2"), std::string::npos);
+  EXPECT_NE(s.find("e2->1:1"), std::string::npos);
+}
+
+TEST(QueryPlanTest, UsesEdgeReflectsBandwidth) {
+  net::Topology topo = net::BuildChain(3);
+  QueryPlan p = QueryPlan::Bandwidth(1, {0, 1, 0});
+  EXPECT_TRUE(p.UsesEdge(1));
+  EXPECT_FALSE(p.UsesEdge(2));
+}
+
+TEST(PlanCostTest, ExpectedCollectionCostSumsUsedEdges) {
+  net::Topology topo = net::BuildChain(3);
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  QueryPlan p = QueryPlan::Bandwidth(2, {0, 2, 1});
+  const net::EnergyModel e;
+  EXPECT_NEAR(ExpectedCollectionCost(p, sim), e.MessageCost(2) + e.MessageCost(1),
+              1e-12);
+}
+
+TEST(PlanCostTest, FailureInflationRaisesExpectedCost) {
+  net::Topology topo = net::BuildChain(2);
+  net::FailureModel f;
+  f.edge_failure_prob = {0.0, 0.5};
+  f.reroute_cost_factor = 2.0;
+  net::NetworkSimulator plain(&topo, net::EnergyModel{});
+  net::NetworkSimulator failing(&topo, net::EnergyModel{}, f);
+  QueryPlan p = QueryPlan::Bandwidth(1, {0, 1});
+  EXPECT_NEAR(ExpectedCollectionCost(p, failing),
+              1.5 * ExpectedCollectionCost(p, plain), 1e-12);
+}
+
+TEST(PlanCostTest, TriggerCostCountsBroadcastingNodes) {
+  // Root with two children; child 1 has child 3. Plan uses edges 1 and 3:
+  // broadcasts at root and at node 1.
+  auto topo = net::Topology::FromParents({-1, 0, 0, 1}).value();
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  QueryPlan p = QueryPlan::Bandwidth(1, {0, 1, 0, 1});
+  EXPECT_NEAR(ExpectedTriggerCost(p, sim),
+              2 * net::EnergyModel{}.BroadcastCost(), 1e-12);
+  const double charged = ChargeTriggerCost(p, &sim);
+  EXPECT_NEAR(charged, ExpectedTriggerCost(p, sim), 1e-12);
+  EXPECT_EQ(sim.stats().broadcast_messages, 2);
+}
+
+TEST(PlanCostTest, InstallChargesUnicastPerUsedEdge) {
+  auto topo = net::Topology::FromParents({-1, 0, 0, 1}).value();
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  QueryPlan p = QueryPlan::Bandwidth(1, {0, 1, 0, 1});
+  ChargeInstallCost(p, &sim);
+  EXPECT_EQ(sim.stats().unicast_messages, 2);  // edges 1 and 3
+}
+
+TEST(PlanCostTest, InstallCostSameOrderAsCollection) {
+  // Section 5 "Other Results": installing a plan costs on the order of one
+  // collection phase.
+  Rng rng(5);
+  net::Topology topo = net::BuildRandomTree(60, 3, &rng);
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  std::vector<int> bw(60, 1);
+  bw[0] = 0;
+  QueryPlan p = QueryPlan::Bandwidth(10, std::move(bw));
+  p.Normalize(topo);
+  const double collect = ExpectedCollectionCost(p, sim);
+  const double install = ChargeInstallCost(p, &sim);
+  EXPECT_GT(install, 0.3 * collect);
+  EXPECT_LT(install, 3.0 * collect);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace prospector

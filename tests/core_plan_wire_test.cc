@@ -1,0 +1,95 @@
+#include "src/core/plan_wire.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace core {
+namespace {
+
+TEST(PlanWireTest, SubplanForInteriorNode) {
+  // Root 0 with child 1; node 1 has children 2 (used) and 3 (unused).
+  auto topo = net::Topology::FromParents({-1, 0, 1, 1}).value();
+  QueryPlan p = QueryPlan::Bandwidth(4, {0, 3, 2, 0}, /*proof_carrying=*/true);
+  Subplan sp = SubplanFor(p, topo, 1);
+  EXPECT_TRUE(sp.proof_carrying);
+  EXPECT_FALSE(sp.node_selection);
+  EXPECT_EQ(sp.k, 4);
+  EXPECT_EQ(sp.outgoing_bandwidth, 3);
+  ASSERT_EQ(sp.child_bandwidth.size(), 1u);
+  EXPECT_EQ(sp.child_bandwidth[0], (std::pair<int, uint8_t>{2, 2}));
+}
+
+TEST(PlanWireTest, NodeSelectionFlagsChosen) {
+  auto topo = net::Topology::FromParents({-1, 0, 1}).value();
+  QueryPlan p = QueryPlan::NodeSelection(2, {0, 0, 1}, topo);
+  EXPECT_FALSE(SubplanFor(p, topo, 1).chosen);
+  EXPECT_TRUE(SubplanFor(p, topo, 2).chosen);
+  EXPECT_TRUE(SubplanFor(p, topo, 2).node_selection);
+}
+
+TEST(PlanWireTest, EncodeDecodeRoundTrip) {
+  Subplan sp;
+  sp.proof_carrying = true;
+  sp.chosen = true;
+  sp.k = 17;
+  sp.outgoing_bandwidth = 9;
+  sp.child_bandwidth = {{5, 3}, {200, 1}, {70000, 255}};
+  auto bytes = EncodeSubplan(sp);
+  auto decoded = DecodeSubplan(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->proof_carrying, sp.proof_carrying);
+  EXPECT_EQ(decoded->node_selection, sp.node_selection);
+  EXPECT_EQ(decoded->chosen, sp.chosen);
+  EXPECT_EQ(decoded->k, sp.k);
+  EXPECT_EQ(decoded->outgoing_bandwidth, sp.outgoing_bandwidth);
+  EXPECT_EQ(decoded->child_bandwidth, sp.child_bandwidth);
+}
+
+TEST(PlanWireTest, WireSizeIsCompactForSmallIds) {
+  // flags + k + bw + count + (1-byte id + bw) per child.
+  Subplan sp;
+  sp.child_bandwidth = {{3, 1}, {90, 2}};
+  EXPECT_EQ(EncodeSubplan(sp).size(), 4u + 2u * 2u);
+  // Large ids take 2 varint bytes.
+  sp.child_bandwidth = {{300, 1}};
+  EXPECT_EQ(EncodeSubplan(sp).size(), 4u + 3u);
+}
+
+TEST(PlanWireTest, DecodeRejectsMalformedInput) {
+  EXPECT_FALSE(DecodeSubplan({}).ok());
+  EXPECT_FALSE(DecodeSubplan({0, 1, 2}).ok());               // too short
+  EXPECT_FALSE(DecodeSubplan({0, 1, 2, 1}).ok());            // missing child
+  EXPECT_FALSE(DecodeSubplan({0, 1, 2, 1, 0x85}).ok());      // truncated varint
+  EXPECT_FALSE(DecodeSubplan({0, 1, 2, 0, 7}).ok());         // trailing bytes
+}
+
+class PlanWirePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanWirePropertyTest, EveryNodeRoundTrips) {
+  Rng rng(900 + GetParam());
+  const int n = 10 + static_cast<int>(rng.UniformInt(uint64_t{60}));
+  net::Topology topo = net::BuildRandomTree(n, 5, &rng);
+  std::vector<int> bw(n, 0);
+  for (int e = 1; e < n; ++e) {
+    bw[e] = static_cast<int>(rng.UniformInt(uint64_t{6}));
+  }
+  QueryPlan p = QueryPlan::Bandwidth(5, std::move(bw), rng.Bernoulli(0.5));
+  p.Normalize(topo);
+  for (int u = 0; u < n; ++u) {
+    const Subplan sp = SubplanFor(p, topo, u);
+    auto decoded = DecodeSubplan(EncodeSubplan(sp));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->outgoing_bandwidth, sp.outgoing_bandwidth);
+    EXPECT_EQ(decoded->child_bandwidth, sp.child_bandwidth);
+    EXPECT_EQ(SubplanWireBytes(p, topo, u),
+              static_cast<int>(EncodeSubplan(sp).size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanWirePropertyTest, ::testing::Range(1, 20));
+
+}  // namespace
+}  // namespace core
+}  // namespace prospector

@@ -1,0 +1,134 @@
+#include "src/core/session.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/executor.h"
+#include "src/data/gaussian_field.h"
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace core {
+namespace {
+
+struct World {
+  net::Topology topo;
+  data::GaussianField field;
+
+  explicit World(uint64_t seed, int n = 50) {
+    Rng rng(seed);
+    net::GeometricNetworkOptions geo;
+    geo.num_nodes = n;
+    geo.radio_range = 26.0;
+    topo = net::BuildConnectedGeometricNetwork(geo, &rng).value();
+    field = data::GaussianField::Random(n, 40, 60, 1, 9, &rng);
+  }
+};
+
+TEST(SessionTest, RejectsWrongTruthSize) {
+  World w(1);
+  TopKQuerySession session(&w.topo, {}, {}, SessionOptions{});
+  EXPECT_FALSE(session.Tick({1.0, 2.0}).ok());
+}
+
+TEST(SessionTest, BootstrapsThenQueries) {
+  World w(2);
+  SessionOptions opts;
+  opts.k = 5;
+  opts.energy_budget_mj = 10.0;
+  opts.bootstrap_sweeps = 4;
+  TopKQuerySession session(&w.topo, {}, {}, opts, 7);
+  Rng rng(3);
+
+  int bootstraps = 0, queries = 0;
+  for (int t = 0; t < 30; ++t) {
+    auto r = session.Tick(w.field.Sample(&rng));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (r->kind == TopKQuerySession::TickResult::Kind::kBootstrap) {
+      ++bootstraps;
+      EXPECT_TRUE(r->answer.empty());
+    }
+    if (r->kind == TopKQuerySession::TickResult::Kind::kQuery) {
+      ++queries;
+      EXPECT_FALSE(r->answer.empty());
+      EXPECT_LE(static_cast<int>(r->answer.size()), opts.k);
+    }
+  }
+  EXPECT_EQ(bootstraps, 4);
+  EXPECT_GT(queries, 15);
+  EXPECT_TRUE(session.has_plan());
+  EXPECT_GT(session.sampling_energy_mj(), 0.0);
+  EXPECT_GT(session.query_energy_mj(), 0.0);
+  EXPECT_GT(session.install_energy_mj(), 0.0);
+  EXPECT_NEAR(session.total_energy_mj(),
+              session.sampling_energy_mj() + session.query_energy_mj() +
+                  session.install_energy_mj() + session.audit_energy_mj(),
+              1e-9);
+}
+
+TEST(SessionTest, QueriesAreReasonablyAccurate) {
+  World w(5);
+  SessionOptions opts;
+  opts.k = 5;
+  opts.energy_budget_mj = 15.0;
+  TopKQuerySession session(&w.topo, {}, {}, opts, 9);
+  Rng rng(10);
+  double recall = 0.0;
+  int queries = 0;
+  for (int t = 0; t < 60; ++t) {
+    const std::vector<double> truth = w.field.Sample(&rng);
+    auto r = session.Tick(truth);
+    ASSERT_TRUE(r.ok());
+    if (r->kind != TopKQuerySession::TickResult::Kind::kQuery) continue;
+    ++queries;
+    std::vector<char> in_answer(w.topo.num_nodes(), 0);
+    for (const Reading& x : r->answer) in_answer[x.node] = 1;
+    int hit = 0;
+    for (const Reading& x : TrueTopK(truth, opts.k)) hit += in_answer[x.node];
+    recall += static_cast<double>(hit) / opts.k;
+  }
+  ASSERT_GT(queries, 0);
+  EXPECT_GT(recall / queries, 0.7);
+}
+
+TEST(SessionTest, AuditEpochsAreExactAndDriveExploreRate) {
+  World w(6, 30);
+  SessionOptions opts;
+  opts.k = 4;
+  opts.energy_budget_mj = 8.0;
+  opts.audit_every = 10;
+  opts.bootstrap_sweeps = 5;
+  TopKQuerySession session(&w.topo, {}, {}, opts, 11);
+  Rng rng(12);
+  int audits = 0;
+  for (int t = 0; t < 60; ++t) {
+    const std::vector<double> truth = w.field.Sample(&rng);
+    auto r = session.Tick(truth);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (r->kind == TopKQuerySession::TickResult::Kind::kAudit) {
+      ++audits;
+      EXPECT_EQ(r->answer, TrueTopK(truth, opts.k)) << "audits must be exact";
+      EXPECT_GE(r->proven, 0);
+    }
+  }
+  EXPECT_GE(audits, 3);
+  EXPECT_GT(session.audit_energy_mj(), 0.0);
+}
+
+TEST(SessionTest, GreedyPlannerChoiceWorks) {
+  World w(7, 30);
+  SessionOptions opts;
+  opts.k = 3;
+  opts.energy_budget_mj = 6.0;
+  opts.planner = SessionOptions::PlannerChoice::kGreedy;
+  TopKQuerySession session(&w.topo, {}, {}, opts, 13);
+  Rng rng(14);
+  for (int t = 0; t < 20; ++t) {
+    ASSERT_TRUE(session.Tick(w.field.Sample(&rng)).ok());
+  }
+  EXPECT_TRUE(session.has_plan());
+  EXPECT_EQ(session.plan().kind, PlanKind::kNodeSelection);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace prospector

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/data/contention.h"
+#include "src/data/gaussian_field.h"
+#include "src/data/lab_trace.h"
+#include "src/data/trace.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace prospector {
+namespace data {
+namespace {
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959964, 1e-4);
+  EXPECT_NEAR(InverseNormalCdf(0.841344746), 1.0, 1e-4);
+  EXPECT_NEAR(InverseNormalCdf(1.0 - 1.0 / 6.0), 0.967422, 1e-4);
+}
+
+TEST(GaussianFieldTest, SampleMatchesMoments) {
+  Rng rng(42);
+  GaussianField field({10.0, 50.0}, {1.0, 4.0});
+  RunningStats s0, s1;
+  for (int i = 0; i < 20000; ++i) {
+    auto v = field.Sample(&rng);
+    s0.Add(v[0]);
+    s1.Add(v[1]);
+  }
+  EXPECT_NEAR(s0.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s0.stddev(), 1.0, 0.05);
+  EXPECT_NEAR(s1.mean(), 50.0, 0.15);
+  EXPECT_NEAR(s1.stddev(), 4.0, 0.15);
+}
+
+TEST(GaussianFieldTest, RandomFieldWithinRanges) {
+  Rng rng(7);
+  GaussianField f = GaussianField::Random(100, 40.0, 60.0, 1.0, 16.0, &rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(f.mean(i), 40.0);
+    EXPECT_LE(f.mean(i), 60.0);
+    EXPECT_GE(f.stddev(i) * f.stddev(i), 1.0 - 1e-9);
+    EXPECT_LE(f.stddev(i) * f.stddev(i), 16.0 + 1e-9);
+  }
+}
+
+TEST(TraceTest, AddEpochValidatesWidth) {
+  Trace t(3);
+  EXPECT_TRUE(t.AddEpoch({1, 2, 3}).ok());
+  EXPECT_FALSE(t.AddEpoch({1, 2}).ok());
+  EXPECT_EQ(t.num_epochs(), 1);
+}
+
+TEST(TraceTest, ImputeInteriorMissingIsNeighborAverage) {
+  Trace t(2);
+  ASSERT_TRUE(t.AddEpoch({1.0, 10.0}).ok());
+  ASSERT_TRUE(t.AddEpoch({std::nan(""), 20.0}).ok());
+  ASSERT_TRUE(t.AddEpoch({3.0, 30.0}).ok());
+  EXPECT_EQ(t.CountMissing(), 1);
+  t.ImputeMissing();
+  EXPECT_EQ(t.CountMissing(), 0);
+  EXPECT_DOUBLE_EQ(t.value(1, 0), 2.0);
+}
+
+TEST(TraceTest, ImputeEdgesUseNearestPresent) {
+  Trace t(1);
+  ASSERT_TRUE(t.AddEpoch({std::nan("")}).ok());
+  ASSERT_TRUE(t.AddEpoch({std::nan("")}).ok());
+  ASSERT_TRUE(t.AddEpoch({5.0}).ok());
+  ASSERT_TRUE(t.AddEpoch({std::nan("")}).ok());
+  t.ImputeMissing();
+  EXPECT_DOUBLE_EQ(t.value(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.value(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.value(3, 0), 5.0);
+}
+
+TEST(TraceTest, ImputeRunAveragesAcrossGap) {
+  Trace t(1);
+  ASSERT_TRUE(t.AddEpoch({2.0}).ok());
+  ASSERT_TRUE(t.AddEpoch({std::nan("")}).ok());
+  ASSERT_TRUE(t.AddEpoch({std::nan("")}).ok());
+  ASSERT_TRUE(t.AddEpoch({6.0}).ok());
+  t.ImputeMissing();
+  EXPECT_DOUBLE_EQ(t.value(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(t.value(2, 0), 4.0);
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  Trace t(3);
+  ASSERT_TRUE(t.AddEpoch({1.5, std::nan(""), -2.25}).ok());
+  ASSERT_TRUE(t.AddEpoch({0.0, 7.0, 9.125}).ok());
+  const std::string path = testing::TempDir() + "/trace_roundtrip.csv";
+  ASSERT_TRUE(t.SaveCsv(path).ok());
+  auto loaded = Trace::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 3);
+  EXPECT_EQ(loaded->num_epochs(), 2);
+  EXPECT_TRUE(Trace::IsMissing(loaded->value(0, 1)));
+  EXPECT_DOUBLE_EQ(loaded->value(0, 2), -2.25);
+  EXPECT_DOUBLE_EQ(loaded->value(1, 1), 7.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, SliceBounds) {
+  Trace t(1);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(t.AddEpoch({double(i)}).ok());
+  Trace s = t.Slice(1, 3);
+  EXPECT_EQ(s.num_epochs(), 2);
+  EXPECT_DOUBLE_EQ(s.value(0, 0), 1.0);
+  EXPECT_EQ(t.Slice(4, 99).num_epochs(), 1);
+  EXPECT_EQ(t.Slice(3, 2).num_epochs(), 0);
+}
+
+TEST(ContentionTest, ZoneStructureAndExceedProbability) {
+  ContentionZoneOptions opts;
+  opts.num_zones = 6;
+  opts.nodes_per_zone = 10;
+  opts.num_background = 40;
+  Rng rng(3);
+  auto built = BuildContentionScenario(opts, &rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const ContentionScenario& sc = built.value();
+  EXPECT_EQ(sc.topology.num_nodes(), 1 + 60 + 40);
+  // Zone assignment layout: root, then zone-major blocks.
+  EXPECT_EQ(sc.zone_of_node[0], -1);
+  EXPECT_EQ(sc.zone_of_node[1], 0);
+  EXPECT_EQ(sc.zone_of_node[60], 5);
+  EXPECT_EQ(sc.zone_of_node[61], -1);
+
+  // Empirically, a zone node exceeds the background mean with P ~ 1/6.
+  Rng vr(99);
+  int exceed = 0;
+  const int trials = 60000;
+  for (int t = 0; t < trials; ++t) {
+    const double v = vr.Gaussian(sc.field.mean(1), sc.field.stddev(1));
+    if (v > opts.background_mean) ++exceed;
+  }
+  EXPECT_NEAR(static_cast<double>(exceed) / trials, 1.0 / 6.0, 0.01);
+}
+
+TEST(ContentionTest, RejectsExceedProbabilityAboveHalf) {
+  ContentionZoneOptions opts;
+  opts.num_zones = 1;
+  opts.exceed_probability = 0.7;
+  Rng rng(3);
+  EXPECT_FALSE(BuildContentionScenario(opts, &rng).ok());
+}
+
+TEST(LabTraceTest, ShapeHotSpotsAndMissing) {
+  LabTraceOptions opts;
+  opts.num_epochs = 200;
+  Rng rng(5);
+  auto built = BuildLabScenario(opts, &rng);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  LabScenario& sc = built.value();
+  EXPECT_EQ(sc.topology.num_nodes(), 54);
+  EXPECT_GT(sc.topology.height(), 2) << "shortened range should force depth";
+  EXPECT_EQ(sc.trace.num_epochs(), 200);
+  EXPECT_EQ(static_cast<int>(sc.hot_motes.size()), opts.num_hot_spots);
+
+  // Missing rate near 3%.
+  const double missing_rate =
+      static_cast<double>(sc.trace.CountMissing()) / (54.0 * 200.0);
+  EXPECT_NEAR(missing_rate, opts.missing_probability, 0.01);
+
+  sc.trace.ImputeMissing();
+  EXPECT_EQ(sc.trace.CountMissing(), 0);
+
+  // Hot motes should dominate the top readings: average a mote's value
+  // across epochs and check that hot motes hold the top ranks.
+  std::vector<double> avg(54, 0.0);
+  for (int t = 0; t < 200; ++t) {
+    for (int i = 0; i < 54; ++i) avg[i] += sc.trace.value(t, i) / 200.0;
+  }
+  std::vector<int> top = TopKIndices(avg, opts.num_hot_spots);
+  int hot_in_top = 0;
+  for (int i : top) {
+    for (int h : sc.hot_motes) {
+      if (h == i) {
+        ++hot_in_top;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(hot_in_top, opts.num_hot_spots - 1)
+      << "persistently warm motes must be the predictable top-k";
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace prospector

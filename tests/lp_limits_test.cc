@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "src/lp/model.h"
+#include "src/lp/simplex.h"
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace lp {
+namespace {
+
+TEST(SimplexLimitsTest, TableauMemoryGuardRefusesHugeModels) {
+  // 3000 rows x ~3000 cols of doubles is ~144 MB for the two live arrays;
+  // with a 1 MB cap the solver must refuse instead of allocating.
+  Model m;
+  const int n = 3000;
+  for (int j = 0; j < n; ++j) m.AddBinaryRelaxed(1.0);
+  for (int r = 0; r < n; ++r) {
+    m.AddRow(RowType::kLessEqual, 1.0, {{r, 1.0}});
+  }
+  SimplexOptions opts;
+  opts.max_tableau_bytes = 1 << 20;
+  SimplexSolver solver(opts);
+  auto res = solver.Solve(m);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SimplexLimitsTest, IterationCapReportsLimit) {
+  // A non-trivial LP with the iteration budget too small to finish.
+  Rng rng(5);
+  Model m;
+  m.SetSense(Sense::kMaximize);
+  const int n = 30;
+  for (int j = 0; j < n; ++j) m.AddBinaryRelaxed(rng.Uniform(0.5, 2.0));
+  for (int r = 0; r < 20; ++r) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.5)) terms.push_back({j, rng.Uniform(0.1, 1.0)});
+    }
+    m.AddRow(RowType::kLessEqual, rng.Uniform(1.0, 3.0), terms);
+  }
+  SimplexOptions opts;
+  opts.max_iterations = 2;
+  SimplexSolver solver(opts);
+  auto res = solver.Solve(m);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->status, SolveStatus::kIterationLimit);
+}
+
+TEST(SimplexLimitsTest, EmptyModelIsTriviallyOptimal) {
+  Model m;
+  SimplexSolver solver;
+  auto res = solver.Solve(m);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(res->objective, 0.0);
+  EXPECT_TRUE(res->values.empty());
+}
+
+TEST(SimplexLimitsTest, ObjectiveOnlyNoRows) {
+  Model m;
+  m.SetSense(Sense::kMaximize);
+  int a = m.AddVariable(-1.0, 2.0, 1.0);
+  int b = m.AddVariable(-3.0, 4.0, -1.0);
+  SimplexSolver solver;
+  auto res = solver.Solve(m);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(res->values[a], 2.0);
+  EXPECT_DOUBLE_EQ(res->values[b], -3.0);
+}
+
+TEST(SimplexLimitsTest, ManyRedundantRowsStaysStable) {
+  // The same constraint repeated: heavy degeneracy; the optimum must
+  // still come out clean.
+  Model m;
+  m.SetSense(Sense::kMaximize);
+  int x = m.AddVariable(0.0, kInfinity, 1.0);
+  for (int r = 0; r < 60; ++r) {
+    m.AddRow(RowType::kLessEqual, 5.0, {{x, 1.0}});
+  }
+  SimplexSolver solver;
+  auto res = solver.Solve(m);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res->values[x], 5.0, 1e-9);
+}
+
+TEST(SimplexLimitsTest, TinyCoefficientsSurviveTolerances) {
+  Model m;
+  m.SetSense(Sense::kMaximize);
+  int x = m.AddVariable(0.0, kInfinity, 1.0);
+  m.AddRow(RowType::kLessEqual, 1e-5, {{x, 1e-4}});
+  SimplexSolver solver;
+  auto res = solver.Solve(m);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res->values[x], 0.1, 1e-6);
+}
+
+}  // namespace
+}  // namespace lp
+}  // namespace prospector

@@ -1,0 +1,128 @@
+#include "src/net/mst.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace net {
+namespace {
+
+std::vector<Point> RandomPlacement(int n, double side, Rng* rng) {
+  std::vector<Point> pos(n);
+  pos[0] = {side / 2, side / 2};
+  for (int i = 1; i < n; ++i) {
+    pos[i] = {rng->Uniform(0.0, side), rng->Uniform(0.0, side)};
+  }
+  return pos;
+}
+
+std::vector<std::pair<int, int>> TreeEdges(const Topology& t) {
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 1; v < t.num_nodes(); ++v) {
+    edges.emplace_back(std::min(v, t.parent(v)), std::max(v, t.parent(v)));
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+TEST(MstTest, TinyTriangle) {
+  // Nodes at (0,0), (1,0), (5,0): MST must use 0-1 and 1-2.
+  std::vector<Point> pos{{0, 0}, {1, 0}, {5, 0}};
+  auto r = BuildDistributedMst(pos, 10.0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(TreeEdges(r->topology),
+            (std::vector<std::pair<int, int>>{{0, 1}, {1, 2}}));
+  EXPECT_NEAR(r->total_weight, 5.0, 1e-12);
+}
+
+TEST(MstTest, DisconnectedGraphFails) {
+  std::vector<Point> pos{{0, 0}, {1, 0}, {100, 0}};
+  auto r = BuildDistributedMst(pos, 5.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(KruskalReference(pos, 5.0).ok());
+}
+
+class MstPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MstPropertyTest, MatchesKruskalAndBoundsRounds) {
+  Rng rng(1200 + GetParam());
+  const int n = 10 + static_cast<int>(rng.UniformInt(uint64_t{70}));
+  std::vector<Point> pos = RandomPlacement(n, 100.0, &rng);
+  const double range = 45.0;  // dense enough to stay connected
+
+  auto reference = KruskalReference(pos, range);
+  auto distributed = BuildDistributedMst(pos, range);
+  if (!reference.ok()) {
+    EXPECT_FALSE(distributed.ok());
+    return;
+  }
+  ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+
+  // Exactly the unique MST.
+  EXPECT_EQ(TreeEdges(distributed->topology), *reference);
+  // Boruvka halves the fragment count each round.
+  EXPECT_LE(distributed->rounds,
+            static_cast<int>(std::ceil(std::log2(n))) + 1);
+  EXPECT_GT(distributed->messages, 0);
+  // Positions carried over.
+  EXPECT_EQ(distributed->topology.positions().size(), pos.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstPropertyTest, ::testing::Range(1, 30));
+
+TEST(MstTest, MstTradesDepthForWeightAgainstBfs) {
+  // The min-hop BFS tree minimizes depth; the MST minimizes total link
+  // length. Check both properties on one instance.
+  Rng rng(7);
+  std::vector<Point> pos = RandomPlacement(60, 100.0, &rng);
+  const double range = 40.0;
+  auto mst = BuildDistributedMst(pos, range);
+  ASSERT_TRUE(mst.ok());
+
+  GeometricNetworkOptions opts;
+  opts.num_nodes = 60;
+  opts.radio_range = range;
+  // Rebuild BFS over the same placement by replaying the BFS used in
+  // BuildGeometricNetwork: easiest is to compare against depth from the
+  // MST topology itself.
+  double bfs_weight = 0.0;
+  {
+    // Min-hop parents via BFS on the radio graph.
+    std::vector<int> depth(60, -1);
+    std::vector<int> parent(60, -1);
+    depth[0] = 0;
+    std::vector<int> frontier{0};
+    while (!frontier.empty()) {
+      std::vector<int> next;
+      for (int u : frontier) {
+        for (int v = 1; v < 60; ++v) {
+          if (depth[v] < 0 && Distance(pos[u], pos[v]) <= range) {
+            depth[v] = depth[u] + 1;
+            parent[v] = u;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    int max_depth = 0;
+    for (int v = 1; v < 60; ++v) {
+      ASSERT_GE(depth[v], 0);
+      bfs_weight += Distance(pos[v], pos[parent[v]]);
+      max_depth = std::max(max_depth, depth[v]);
+    }
+    EXPECT_LE(max_depth, mst->topology.height())
+        << "BFS minimizes hops, so the MST can only be as shallow or deeper";
+  }
+  EXPECT_LE(mst->total_weight, bfs_weight + 1e-9)
+      << "the MST minimizes total link length";
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace prospector

@@ -1,0 +1,137 @@
+#include "src/net/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/energy_model.h"
+#include "src/net/failure.h"
+#include "src/net/topology.h"
+
+namespace prospector {
+namespace net {
+namespace {
+
+TEST(EnergyModelTest, MessageCostIsAffineInValues) {
+  EnergyModel e;
+  e.per_message_mj = 0.4;
+  e.per_byte_mj = 0.0015;
+  e.bytes_per_value = 4;
+  EXPECT_DOUBLE_EQ(e.MessageCost(0), 0.4);
+  EXPECT_DOUBLE_EQ(e.MessageCost(10), 0.4 + 0.0015 * 40);
+  EXPECT_DOUBLE_EQ(e.MessageCostWithExtra(2, 3),
+                   e.MessageCost(2) + 3 * 0.0015);
+  EXPECT_DOUBLE_EQ(e.PerValueCost(), 0.006);
+  EXPECT_DOUBLE_EQ(e.BroadcastCost(), 0.4);
+}
+
+TEST(EnergyModelTest, PerMessageDominatesSmallMessages) {
+  // The property motivating approximation: contacting a node at all is
+  // clearly more expensive than adding a value to an existing message
+  // (c_m several times c_v), yet value transport stays non-negligible
+  // (which is what makes local filtering worthwhile).
+  EnergyModel e;
+  EXPECT_GT(e.MessageCost(1), 5 * e.PerValueCost());
+  EXPECT_GT(100 * e.PerValueCost(), e.per_message_mj);
+}
+
+TEST(FailureModelTest, ExpectedCostFactor) {
+  FailureModel f;
+  f.edge_failure_prob = {0.0, 0.5, 0.1};
+  f.reroute_cost_factor = 3.0;
+  EXPECT_DOUBLE_EQ(f.ExpectedCostFactor(1), 2.0);   // 0.5*3 + 0.5*1
+  EXPECT_DOUBLE_EQ(f.ExpectedCostFactor(2), 1.2);
+  EXPECT_DOUBLE_EQ(f.ExpectedCostFactor(0), 1.0);
+  EXPECT_DOUBLE_EQ(f.ExpectedCostFactor(99), 1.0);  // out of range -> 0
+}
+
+TEST(SimulatorTest, LedgerAccounting) {
+  Topology topo = BuildChain(3);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  sim.Unicast(1, 2);
+  sim.Unicast(2, 0, 5);
+  sim.Broadcast(0);
+  const TransmissionStats& st = sim.stats();
+  EXPECT_EQ(st.unicast_messages, 2);
+  EXPECT_EQ(st.broadcast_messages, 1);
+  EXPECT_EQ(st.values_transmitted, 2);
+  EnergyModel e;
+  EXPECT_NEAR(st.total_energy_mj,
+              e.MessageCost(2) + e.MessageCostWithExtra(0, 5) + e.BroadcastCost(),
+              1e-12);
+  EXPECT_NEAR(st.per_node_energy_mj[1], e.MessageCost(2), 1e-12);
+
+  TransmissionStats taken = sim.TakeStats();
+  EXPECT_EQ(taken.unicast_messages, 2);
+  EXPECT_EQ(sim.stats().unicast_messages, 0);
+  EXPECT_DOUBLE_EQ(sim.stats().total_energy_mj, 0.0);
+}
+
+TEST(SimulatorTest, BroadcastPayloadChargesBytes) {
+  Topology topo = BuildChain(2);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  const double plain = sim.BroadcastPayload(0, 0);
+  const double loaded = sim.BroadcastPayload(0, 10);
+  EnergyModel e;
+  EXPECT_DOUBLE_EQ(plain, e.BroadcastCost());
+  EXPECT_DOUBLE_EQ(loaded, e.BroadcastCost() + 10 * e.per_byte_mj);
+  EXPECT_EQ(sim.stats().broadcast_messages, 2);
+}
+
+TEST(SimulatorTest, ExpectedUnicastCostMatchesModelTimesFactor) {
+  Topology topo = BuildChain(2);
+  FailureModel f;
+  f.edge_failure_prob = {0.0, 0.25};
+  f.reroute_cost_factor = 3.0;
+  NetworkSimulator sim(&topo, EnergyModel{}, f);
+  EnergyModel e;
+  EXPECT_DOUBLE_EQ(sim.ExpectedUnicastCost(1, 4),
+                   e.MessageCost(4) * 1.5);  // 1 + 0.25 * (3 - 1)
+}
+
+TEST(SimulatorTest, AcquisitionLedger) {
+  Topology topo = BuildChain(2);
+  EnergyModel e;
+  e.acquisition_mj = 0.7;
+  NetworkSimulator sim(&topo, e);
+  EXPECT_DOUBLE_EQ(sim.ChargeAcquisition(1), 0.7);
+  EXPECT_EQ(sim.stats().acquisitions, 1);
+  EXPECT_DOUBLE_EQ(sim.stats().per_node_energy_mj[1], 0.7);
+}
+
+TEST(SimulatorTest, StatsAccumulate) {
+  Topology topo = BuildChain(2);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  sim.Unicast(1, 1);
+  TransmissionStats a = sim.TakeStats();
+  sim.Unicast(1, 2);
+  TransmissionStats b = sim.TakeStats();
+  a.Accumulate(b);
+  EXPECT_EQ(a.unicast_messages, 2);
+  EXPECT_EQ(a.values_transmitted, 3);
+}
+
+TEST(SimulatorTest, FailureInjectionChargesReroutes) {
+  Topology topo = BuildChain(2);
+  FailureModel f;
+  f.edge_failure_prob = {0.0, 0.5};
+  f.reroute_cost_factor = 2.0;
+  NetworkSimulator sim(&topo, EnergyModel{}, f, /*seed=*/7);
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sim.Unicast(1, 1);
+  const double frac =
+      static_cast<double>(sim.stats().reroutes) / static_cast<double>(trials);
+  EXPECT_NEAR(frac, 0.5, 0.02);
+  // Mean observed cost approaches the planner's expectation.
+  EXPECT_NEAR(sim.stats().total_energy_mj / trials,
+              sim.ExpectedUnicastCost(1, 1), 0.01);
+}
+
+TEST(SimulatorTest, NoFailuresByDefault) {
+  Topology topo = BuildChain(2);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  for (int i = 0; i < 100; ++i) sim.Unicast(1, 1);
+  EXPECT_EQ(sim.stats().reroutes, 0);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace prospector

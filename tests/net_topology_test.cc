@@ -1,0 +1,172 @@
+#include "src/net/topology.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace net {
+namespace {
+
+TEST(TopologyTest, FromParentsBasic) {
+  // Node 0 is the root with children {1, 2}; node 1 has children {3, 4}.
+  auto res = Topology::FromParents({Topology::kNoParent, 0, 0, 1, 1});
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  const Topology& t = res.value();
+  EXPECT_EQ(t.num_nodes(), 5);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.parent(3), 1);
+  EXPECT_EQ(t.depth(0), 0);
+  EXPECT_EQ(t.depth(4), 2);
+  EXPECT_EQ(t.height(), 2);
+  EXPECT_EQ(t.subtree_size(0), 5);
+  EXPECT_EQ(t.subtree_size(1), 3);
+  EXPECT_EQ(t.subtree_size(2), 1);
+  EXPECT_TRUE(t.is_leaf(4));
+  EXPECT_FALSE(t.is_leaf(1));
+  EXPECT_EQ(t.children(1), (std::vector<int>{3, 4}));
+}
+
+TEST(TopologyTest, AncestorsAndDescendants) {
+  auto t = Topology::FromParents({Topology::kNoParent, 0, 0, 1, 1}).value();
+  EXPECT_EQ(t.AncestorsOf(4), (std::vector<int>{4, 1, 0}));
+  EXPECT_EQ(t.AncestorsOf(0), (std::vector<int>{0}));
+  std::vector<int> d1 = t.DescendantsOf(1);
+  std::sort(d1.begin(), d1.end());
+  EXPECT_EQ(d1, (std::vector<int>{1, 3, 4}));
+  EXPECT_TRUE(t.IsAncestorOf(0, 4));
+  EXPECT_TRUE(t.IsAncestorOf(1, 1));
+  EXPECT_FALSE(t.IsAncestorOf(2, 4));
+  EXPECT_FALSE(t.IsAncestorOf(4, 1));
+}
+
+TEST(TopologyTest, PathEdges) {
+  auto t = Topology::FromParents({Topology::kNoParent, 0, 1, 2}).value();
+  EXPECT_EQ(t.PathEdges(3), (std::vector<int>{3, 2, 1}));
+  EXPECT_TRUE(t.PathEdges(0).empty());
+}
+
+TEST(TopologyTest, PostOrderVisitsChildrenFirst) {
+  Rng rng(11);
+  Topology t = BuildRandomTree(40, 4, &rng);
+  std::vector<int> seen_at(t.num_nodes(), -1);
+  const auto& post = t.PostOrder();
+  for (int i = 0; i < static_cast<int>(post.size()); ++i) {
+    seen_at[post[i]] = i;
+  }
+  for (int v = 1; v < t.num_nodes(); ++v) {
+    EXPECT_LT(seen_at[v], seen_at[t.parent(v)])
+        << "child " << v << " must precede parent in post-order";
+  }
+}
+
+TEST(TopologyTest, PreOrderVisitsParentsFirst) {
+  Rng rng(12);
+  Topology t = BuildRandomTree(40, 4, &rng);
+  std::vector<int> seen_at(t.num_nodes(), -1);
+  const auto& pre = t.PreOrder();
+  for (int i = 0; i < static_cast<int>(pre.size()); ++i) seen_at[pre[i]] = i;
+  for (int v = 1; v < t.num_nodes(); ++v) {
+    EXPECT_GT(seen_at[v], seen_at[t.parent(v)]);
+  }
+}
+
+TEST(TopologyTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Topology::FromParents({}).ok());
+  EXPECT_FALSE(Topology::FromParents({0}).ok());  // root must have -1
+  EXPECT_FALSE(
+      Topology::FromParents({Topology::kNoParent, 5}).ok());  // out of range
+  EXPECT_FALSE(
+      Topology::FromParents({Topology::kNoParent, 1}).ok());  // self loop
+  // 2-cycle between 1 and 2 (both unreachable from root).
+  EXPECT_FALSE(Topology::FromParents({Topology::kNoParent, 2, 1}).ok());
+}
+
+TEST(TopologyTest, ChainAndStar) {
+  Topology chain = BuildChain(6);
+  EXPECT_EQ(chain.height(), 5);
+  EXPECT_EQ(chain.subtree_size(0), 6);
+  Topology star = BuildStar(6);
+  EXPECT_EQ(star.height(), 1);
+  EXPECT_EQ(star.children(0).size(), 5u);
+}
+
+TEST(GeometricNetworkTest, DisconnectedPlacementFails) {
+  GeometricNetworkOptions opts;
+  opts.num_nodes = 50;
+  opts.width = 1000.0;
+  opts.height = 1000.0;
+  opts.radio_range = 5.0;  // far too short to connect 50 nodes in 1 km^2
+  Rng rng(3);
+  auto res = BuildGeometricNetwork(opts, &rng);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kFailedPrecondition);
+}
+
+class GeometricPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeometricPropertyTest, TreeRespectsRadioRangeAndMinimizesHops) {
+  GeometricNetworkOptions opts;
+  opts.num_nodes = 60;
+  opts.width = 100.0;
+  opts.height = 100.0;
+  opts.radio_range = 30.0;
+  Rng rng(GetParam());
+  auto res = BuildConnectedGeometricNetwork(opts, &rng);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  const Topology& t = res.value();
+  ASSERT_EQ(static_cast<int>(t.positions().size()), t.num_nodes());
+
+  // Every tree edge within radio range.
+  for (int v = 1; v < t.num_nodes(); ++v) {
+    EXPECT_LE(Distance(t.positions()[v], t.positions()[t.parent(v)]),
+              opts.radio_range + 1e-9);
+  }
+
+  // Minimum hop count: depth must equal BFS distance in the range graph.
+  const int n = t.num_nodes();
+  std::vector<int> dist(n, -1);
+  dist[0] = 0;
+  std::vector<int> frontier{0};
+  while (!frontier.empty()) {
+    std::vector<int> next;
+    for (int u : frontier) {
+      for (int v = 0; v < n; ++v) {
+        if (dist[v] < 0 &&
+            Distance(t.positions()[u], t.positions()[v]) <= opts.radio_range) {
+          dist[v] = dist[u] + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (int v = 0; v < n; ++v) {
+    EXPECT_EQ(t.depth(v), dist[v]) << "node " << v << " is not min-hop";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometricPropertyTest, ::testing::Range(1, 21));
+
+class RandomTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTreePropertyTest, FanoutBoundHolds) {
+  Rng rng(GetParam());
+  const int fanout = 1 + GetParam() % 5;
+  Topology t = BuildRandomTree(30, fanout, &rng);
+  EXPECT_EQ(t.num_nodes(), 30);
+  for (int v = 0; v < t.num_nodes(); ++v) {
+    EXPECT_LE(static_cast<int>(t.children(v).size()), fanout);
+  }
+  // Subtree sizes sum: root covers everything.
+  EXPECT_EQ(t.subtree_size(0), 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreePropertyTest, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace net
+}  // namespace prospector

@@ -1,0 +1,108 @@
+#include "src/sampling/adaptive_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace prospector {
+namespace sampling {
+namespace {
+
+TEST(AdaptiveSchedulerTest, ProbabilitiesStartUniformAndNormalized) {
+  AdaptiveScheduler s({0.1, 0.2, 0.3});
+  const auto p = s.Probabilities();
+  ASSERT_EQ(p.size(), 3u);
+  double sum = 0.0;
+  for (double v : p) {
+    EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(AdaptiveSchedulerTest, RejectsBadReports) {
+  AdaptiveScheduler s({0.1});
+  EXPECT_FALSE(s.ReportLoss(5, 0.1).ok());
+  EXPECT_FALSE(s.ReportLoss(0, 2.0).ok());
+  EXPECT_FALSE(s.ReportLoss(0, -0.1).ok());
+  EXPECT_TRUE(s.ReportLoss(0, 1.0).ok());
+}
+
+TEST(AdaptiveSchedulerTest, ConvergesToTheBestArm) {
+  // Arm 1 consistently suffers less loss; its probability must dominate.
+  AdaptiveScheduler s({0.05, 0.15, 0.4});
+  for (int t = 0; t < 60; ++t) {
+    ASSERT_TRUE(s.ReportLoss(0, 0.8).ok());
+    ASSERT_TRUE(s.ReportLoss(1, 0.1).ok());
+    ASSERT_TRUE(s.ReportLoss(2, 0.6).ok());
+  }
+  const auto p = s.Probabilities();
+  EXPECT_GT(p[1], 0.95);
+  // And draws follow the probabilities.
+  Rng rng(3);
+  int picked1 = 0;
+  for (int i = 0; i < 1000; ++i) picked1 += s.ChooseArm(&rng) == 1;
+  EXPECT_GT(picked1, 900);
+}
+
+TEST(AdaptiveSchedulerTest, RecoversAfterDrift) {
+  // First arm 0 is best; after the drift arm 2 becomes best. The weight
+  // floor must let the scheduler switch.
+  AdaptiveScheduler s({0.02, 0.1, 0.3});
+  for (int t = 0; t < 80; ++t) {
+    ASSERT_TRUE(s.ReportLoss(0, 0.05).ok());
+    ASSERT_TRUE(s.ReportLoss(1, 0.5).ok());
+    ASSERT_TRUE(s.ReportLoss(2, 0.9).ok());
+  }
+  EXPECT_GT(s.Probabilities()[0], 0.9);
+  for (int t = 0; t < 80; ++t) {
+    ASSERT_TRUE(s.ReportLoss(0, 0.9).ok());
+    ASSERT_TRUE(s.ReportLoss(1, 0.5).ok());
+    ASSERT_TRUE(s.ReportLoss(2, 0.05).ok());
+  }
+  EXPECT_GT(s.Probabilities()[2], 0.9);
+}
+
+TEST(AdaptiveSchedulerTest, EndToEndTracksDriftSpeed) {
+  // Simulated environment: in the "calm" regime low sampling rates incur
+  // little loss; in the "turbulent" regime the loss of a rate r is high
+  // unless r is large. The scheduler should sit on a low rate while calm
+  // and move to a high rate when turbulence starts.
+  AdaptiveScheduler s = AdaptiveScheduler::Default();
+  Rng rng(11);
+  auto loss_for = [](double rate, bool turbulent) {
+    // Energy penalty grows with the rate; staleness penalty grows when
+    // turbulent and under-sampled.
+    const double energy = 0.3 * rate / 0.35;
+    const double staleness = turbulent ? std::max(0.0, 0.9 - 2.5 * rate) : 0.0;
+    return std::min(1.0, energy + staleness);
+  };
+  for (int t = 0; t < 150; ++t) {
+    const int arm = s.ChooseArm(&rng);
+    ASSERT_TRUE(s.ReportLoss(arm, loss_for(s.rate(arm), false)).ok());
+  }
+  int calm_arm = 0;
+  {
+    const auto p = s.Probabilities();
+    for (int a = 1; a < s.num_arms(); ++a) {
+      if (p[a] > p[calm_arm]) calm_arm = a;
+    }
+  }
+  EXPECT_LE(s.rate(calm_arm), 0.05);
+  for (int t = 0; t < 400; ++t) {
+    const int arm = s.ChooseArm(&rng);
+    ASSERT_TRUE(s.ReportLoss(arm, loss_for(s.rate(arm), true)).ok());
+  }
+  int stormy_arm = 0;
+  {
+    const auto p = s.Probabilities();
+    for (int a = 1; a < s.num_arms(); ++a) {
+      if (p[a] > p[stormy_arm]) stormy_arm = a;
+    }
+  }
+  EXPECT_GE(s.rate(stormy_arm), 0.15);
+}
+
+}  // namespace
+}  // namespace sampling
+}  // namespace prospector

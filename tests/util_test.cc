@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/status.h"
+
+namespace prospector {
+namespace {
+
+// ---- Status / Result ----
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  Status s = Status::Internal("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "Internal: disk on fire");
+}
+
+Status FailsThrough() {
+  PROSPECTOR_RETURN_IF_ERROR(Status::NotFound("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(*ok, 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> bad(Status::NotFound("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyPayloads) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+// ---- Rng ----
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(123), b(123), c(456);
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  EXPECT_NE(a.NextUint64(), c.NextUint64());
+}
+
+TEST(RngTest, UniformDoublesInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(2);
+  std::vector<int> counts(7, 0);
+  const int trials = 70000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.UniformInt(uint64_t{7})];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 1.0 / 7.0, 0.01);
+  }
+}
+
+TEST(RngTest, SignedUniformIntInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-2}, int64_t{2});
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(4);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.Add(rng.Gaussian(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(6);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(7);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextUint64(), child.NextUint64());
+}
+
+// ---- Stats ----
+
+TEST(RunningStatsTest, WelfordMatchesClosedForm) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SinglePointHasZeroVariance) {
+  RunningStats s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(TopKIndicesTest, OrderAndTies) {
+  EXPECT_EQ(TopKIndices({1, 9, 3, 9, 5}, 3), (std::vector<int>{1, 3, 4}));
+  EXPECT_EQ(TopKIndices({1, 2}, 5), (std::vector<int>{1, 0}));
+  EXPECT_TRUE(TopKIndices({1, 2}, 0).empty());
+  EXPECT_TRUE(TopKIndices({}, 3).empty());
+}
+
+TEST(QuantileTest, Interpolation) {
+  EXPECT_DOUBLE_EQ(Quantile({1, 2, 3, 4, 5}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile({1, 2, 3, 4}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({10, 20}, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile({10, 20}, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace prospector
