@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_acquisition.dir/bench_acquisition.cc.o"
+  "CMakeFiles/bench_acquisition.dir/bench_acquisition.cc.o.d"
+  "bench_acquisition"
+  "bench_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

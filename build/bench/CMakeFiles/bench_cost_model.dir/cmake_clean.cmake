@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_model.dir/bench_cost_model.cc.o"
+  "CMakeFiles/bench_cost_model.dir/bench_cost_model.cc.o.d"
+  "bench_cost_model"
+  "bench_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

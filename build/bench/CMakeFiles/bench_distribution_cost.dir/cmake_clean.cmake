@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distribution_cost.dir/bench_distribution_cost.cc.o"
+  "CMakeFiles/bench_distribution_cost.dir/bench_distribution_cost.cc.o.d"
+  "bench_distribution_cost"
+  "bench_distribution_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distribution_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failures.dir/bench_failures.cc.o"
+  "CMakeFiles/bench_failures.dir/bench_failures.cc.o.d"
+  "bench_failures"
+  "bench_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_zones.dir/bench_fig7_zones.cc.o"
+  "CMakeFiles/bench_fig7_zones.dir/bench_fig7_zones.cc.o.d"
+  "bench_fig7_zones"
+  "bench_fig7_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_exact.dir/bench_fig8_exact.cc.o"
+  "CMakeFiles/bench_fig8_exact.dir/bench_fig8_exact.cc.o.d"
+  "bench_fig8_exact"
+  "bench_fig8_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_intel_lab.dir/bench_fig9_intel_lab.cc.o"
+  "CMakeFiles/bench_fig9_intel_lab.dir/bench_fig9_intel_lab.cc.o.d"
+  "bench_fig9_intel_lab"
+  "bench_fig9_intel_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_intel_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ilp_gap.dir/bench_ilp_gap.cc.o"
+  "CMakeFiles/bench_ilp_gap.dir/bench_ilp_gap.cc.o.d"
+  "bench_ilp_gap"
+  "bench_ilp_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ilp_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

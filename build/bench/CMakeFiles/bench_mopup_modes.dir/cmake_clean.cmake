@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mopup_modes.dir/bench_mopup_modes.cc.o"
+  "CMakeFiles/bench_mopup_modes.dir/bench_mopup_modes.cc.o.d"
+  "bench_mopup_modes"
+  "bench_mopup_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mopup_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rounding.dir/bench_rounding.cc.o"
+  "CMakeFiles/bench_rounding.dir/bench_rounding.cc.o.d"
+  "bench_rounding"
+  "bench_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sample_size.dir/bench_sample_size.cc.o"
+  "CMakeFiles/bench_sample_size.dir/bench_sample_size.cc.o.d"
+  "bench_sample_size"
+  "bench_sample_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sample_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

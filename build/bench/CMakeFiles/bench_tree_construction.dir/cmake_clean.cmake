@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_construction.dir/bench_tree_construction.cc.o"
+  "CMakeFiles/bench_tree_construction.dir/bench_tree_construction.cc.o.d"
+  "bench_tree_construction"
+  "bench_tree_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

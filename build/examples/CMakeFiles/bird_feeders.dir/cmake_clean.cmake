@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bird_feeders.dir/bird_feeders.cpp.o"
+  "CMakeFiles/bird_feeders.dir/bird_feeders.cpp.o.d"
+  "bird_feeders"
+  "bird_feeders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bird_feeders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bird_feeders.
+# This may be replaced when dependencies are built.

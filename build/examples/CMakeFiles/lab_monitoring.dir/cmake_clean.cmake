@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_monitoring.dir/lab_monitoring.cpp.o"
+  "CMakeFiles/lab_monitoring.dir/lab_monitoring.cpp.o.d"
+  "lab_monitoring"
+  "lab_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

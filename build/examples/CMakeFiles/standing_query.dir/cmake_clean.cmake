@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standing_query.dir/standing_query.cpp.o"
+  "CMakeFiles/standing_query.dir/standing_query.cpp.o.d"
+  "standing_query"
+  "standing_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standing_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_alarm.dir/threshold_alarm.cpp.o"
+  "CMakeFiles/threshold_alarm.dir/threshold_alarm.cpp.o.d"
+  "threshold_alarm"
+  "threshold_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

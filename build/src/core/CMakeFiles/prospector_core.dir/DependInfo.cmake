@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_query.cc" "src/core/CMakeFiles/prospector_core.dir/cluster_query.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/cluster_query.cc.o.d"
+  "/root/repo/src/core/event_sim.cc" "src/core/CMakeFiles/prospector_core.dir/event_sim.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/event_sim.cc.o.d"
+  "/root/repo/src/core/exact.cc" "src/core/CMakeFiles/prospector_core.dir/exact.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/exact.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/prospector_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/greedy_planner.cc" "src/core/CMakeFiles/prospector_core.dir/greedy_planner.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/greedy_planner.cc.o.d"
+  "/root/repo/src/core/latency.cc" "src/core/CMakeFiles/prospector_core.dir/latency.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/latency.cc.o.d"
+  "/root/repo/src/core/lifetime.cc" "src/core/CMakeFiles/prospector_core.dir/lifetime.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/lifetime.cc.o.d"
+  "/root/repo/src/core/lp_filter_planner.cc" "src/core/CMakeFiles/prospector_core.dir/lp_filter_planner.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/lp_filter_planner.cc.o.d"
+  "/root/repo/src/core/lp_no_filter_planner.cc" "src/core/CMakeFiles/prospector_core.dir/lp_no_filter_planner.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/lp_no_filter_planner.cc.o.d"
+  "/root/repo/src/core/naive.cc" "src/core/CMakeFiles/prospector_core.dir/naive.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/naive.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/prospector_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/prospector_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/plan_eval.cc" "src/core/CMakeFiles/prospector_core.dir/plan_eval.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/plan_eval.cc.o.d"
+  "/root/repo/src/core/plan_wire.cc" "src/core/CMakeFiles/prospector_core.dir/plan_wire.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/plan_wire.cc.o.d"
+  "/root/repo/src/core/proof_executor.cc" "src/core/CMakeFiles/prospector_core.dir/proof_executor.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/proof_executor.cc.o.d"
+  "/root/repo/src/core/proof_planner.cc" "src/core/CMakeFiles/prospector_core.dir/proof_planner.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/proof_planner.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/prospector_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/prospector_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/prospector_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prospector_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/prospector_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/prospector_sampling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/contention.cc" "src/data/CMakeFiles/prospector_data.dir/contention.cc.o" "gcc" "src/data/CMakeFiles/prospector_data.dir/contention.cc.o.d"
+  "/root/repo/src/data/gaussian_field.cc" "src/data/CMakeFiles/prospector_data.dir/gaussian_field.cc.o" "gcc" "src/data/CMakeFiles/prospector_data.dir/gaussian_field.cc.o.d"
+  "/root/repo/src/data/lab_trace.cc" "src/data/CMakeFiles/prospector_data.dir/lab_trace.cc.o" "gcc" "src/data/CMakeFiles/prospector_data.dir/lab_trace.cc.o.d"
+  "/root/repo/src/data/trace.cc" "src/data/CMakeFiles/prospector_data.dir/trace.cc.o" "gcc" "src/data/CMakeFiles/prospector_data.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/prospector_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prospector_data.dir/contention.cc.o"
+  "CMakeFiles/prospector_data.dir/contention.cc.o.d"
+  "CMakeFiles/prospector_data.dir/gaussian_field.cc.o"
+  "CMakeFiles/prospector_data.dir/gaussian_field.cc.o.d"
+  "CMakeFiles/prospector_data.dir/lab_trace.cc.o"
+  "CMakeFiles/prospector_data.dir/lab_trace.cc.o.d"
+  "CMakeFiles/prospector_data.dir/trace.cc.o"
+  "CMakeFiles/prospector_data.dir/trace.cc.o.d"
+  "libprospector_data.a"
+  "libprospector_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prospector_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/branch_and_bound.cc" "src/lp/CMakeFiles/prospector_lp.dir/branch_and_bound.cc.o" "gcc" "src/lp/CMakeFiles/prospector_lp.dir/branch_and_bound.cc.o.d"
+  "/root/repo/src/lp/kkt.cc" "src/lp/CMakeFiles/prospector_lp.dir/kkt.cc.o" "gcc" "src/lp/CMakeFiles/prospector_lp.dir/kkt.cc.o.d"
+  "/root/repo/src/lp/lp_writer.cc" "src/lp/CMakeFiles/prospector_lp.dir/lp_writer.cc.o" "gcc" "src/lp/CMakeFiles/prospector_lp.dir/lp_writer.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/lp/CMakeFiles/prospector_lp.dir/simplex.cc.o" "gcc" "src/lp/CMakeFiles/prospector_lp.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

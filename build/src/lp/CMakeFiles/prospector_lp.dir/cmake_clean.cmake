@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prospector_lp.dir/branch_and_bound.cc.o"
+  "CMakeFiles/prospector_lp.dir/branch_and_bound.cc.o.d"
+  "CMakeFiles/prospector_lp.dir/kkt.cc.o"
+  "CMakeFiles/prospector_lp.dir/kkt.cc.o.d"
+  "CMakeFiles/prospector_lp.dir/lp_writer.cc.o"
+  "CMakeFiles/prospector_lp.dir/lp_writer.cc.o.d"
+  "CMakeFiles/prospector_lp.dir/simplex.cc.o"
+  "CMakeFiles/prospector_lp.dir/simplex.cc.o.d"
+  "libprospector_lp.a"
+  "libprospector_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prospector_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

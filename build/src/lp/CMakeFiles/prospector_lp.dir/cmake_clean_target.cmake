@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprospector_lp.a"
+)

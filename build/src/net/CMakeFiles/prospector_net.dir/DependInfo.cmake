@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/describe.cc" "src/net/CMakeFiles/prospector_net.dir/describe.cc.o" "gcc" "src/net/CMakeFiles/prospector_net.dir/describe.cc.o.d"
+  "/root/repo/src/net/mst.cc" "src/net/CMakeFiles/prospector_net.dir/mst.cc.o" "gcc" "src/net/CMakeFiles/prospector_net.dir/mst.cc.o.d"
+  "/root/repo/src/net/rebuild.cc" "src/net/CMakeFiles/prospector_net.dir/rebuild.cc.o" "gcc" "src/net/CMakeFiles/prospector_net.dir/rebuild.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/prospector_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/prospector_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prospector_net.dir/describe.cc.o"
+  "CMakeFiles/prospector_net.dir/describe.cc.o.d"
+  "CMakeFiles/prospector_net.dir/mst.cc.o"
+  "CMakeFiles/prospector_net.dir/mst.cc.o.d"
+  "CMakeFiles/prospector_net.dir/rebuild.cc.o"
+  "CMakeFiles/prospector_net.dir/rebuild.cc.o.d"
+  "CMakeFiles/prospector_net.dir/topology.cc.o"
+  "CMakeFiles/prospector_net.dir/topology.cc.o.d"
+  "libprospector_net.a"
+  "libprospector_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prospector_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prospector_sampling.dir/sample_set.cc.o"
+  "CMakeFiles/prospector_sampling.dir/sample_set.cc.o.d"
+  "libprospector_sampling.a"
+  "libprospector_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prospector_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_acquisition_test.dir/core_acquisition_test.cc.o"
+  "CMakeFiles/core_acquisition_test.dir/core_acquisition_test.cc.o.d"
+  "core_acquisition_test"
+  "core_acquisition_test.pdb"
+  "core_acquisition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_acquisition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

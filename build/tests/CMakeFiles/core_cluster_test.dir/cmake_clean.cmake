@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cluster_test.dir/core_cluster_test.cc.o"
+  "CMakeFiles/core_cluster_test.dir/core_cluster_test.cc.o.d"
+  "core_cluster_test"
+  "core_cluster_test.pdb"
+  "core_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_executor_test.dir/core_executor_test.cc.o"
+  "CMakeFiles/core_executor_test.dir/core_executor_test.cc.o.d"
+  "core_executor_test"
+  "core_executor_test.pdb"
+  "core_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_latency_test.dir/core_latency_test.cc.o"
+  "CMakeFiles/core_latency_test.dir/core_latency_test.cc.o.d"
+  "core_latency_test"
+  "core_latency_test.pdb"
+  "core_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

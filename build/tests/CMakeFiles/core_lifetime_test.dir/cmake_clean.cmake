@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lifetime_test.dir/core_lifetime_test.cc.o"
+  "CMakeFiles/core_lifetime_test.dir/core_lifetime_test.cc.o.d"
+  "core_lifetime_test"
+  "core_lifetime_test.pdb"
+  "core_lifetime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lifetime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

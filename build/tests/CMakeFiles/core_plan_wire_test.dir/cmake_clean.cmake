@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_plan_wire_test.dir/core_plan_wire_test.cc.o"
+  "CMakeFiles/core_plan_wire_test.dir/core_plan_wire_test.cc.o.d"
+  "core_plan_wire_test"
+  "core_plan_wire_test.pdb"
+  "core_plan_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_plan_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

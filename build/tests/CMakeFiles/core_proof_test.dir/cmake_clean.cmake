@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_proof_test.dir/core_proof_test.cc.o"
+  "CMakeFiles/core_proof_test.dir/core_proof_test.cc.o.d"
+  "core_proof_test"
+  "core_proof_test.pdb"
+  "core_proof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_proof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_bnb_test.dir/lp_bnb_test.cc.o"
+  "CMakeFiles/lp_bnb_test.dir/lp_bnb_test.cc.o.d"
+  "lp_bnb_test"
+  "lp_bnb_test.pdb"
+  "lp_bnb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_bnb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

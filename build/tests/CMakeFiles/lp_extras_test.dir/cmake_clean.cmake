@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_extras_test.dir/lp_extras_test.cc.o"
+  "CMakeFiles/lp_extras_test.dir/lp_extras_test.cc.o.d"
+  "lp_extras_test"
+  "lp_extras_test.pdb"
+  "lp_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_kkt_test.dir/lp_kkt_test.cc.o"
+  "CMakeFiles/lp_kkt_test.dir/lp_kkt_test.cc.o.d"
+  "lp_kkt_test"
+  "lp_kkt_test.pdb"
+  "lp_kkt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_kkt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

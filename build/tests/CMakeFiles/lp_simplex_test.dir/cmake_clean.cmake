@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_simplex_test.dir/lp_simplex_test.cc.o"
+  "CMakeFiles/lp_simplex_test.dir/lp_simplex_test.cc.o.d"
+  "lp_simplex_test"
+  "lp_simplex_test.pdb"
+  "lp_simplex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_simplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

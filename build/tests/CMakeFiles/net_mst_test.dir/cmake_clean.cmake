@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_mst_test.dir/net_mst_test.cc.o"
+  "CMakeFiles/net_mst_test.dir/net_mst_test.cc.o.d"
+  "net_mst_test"
+  "net_mst_test.pdb"
+  "net_mst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_mst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

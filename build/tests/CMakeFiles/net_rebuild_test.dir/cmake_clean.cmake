@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_rebuild_test.dir/net_rebuild_test.cc.o"
+  "CMakeFiles/net_rebuild_test.dir/net_rebuild_test.cc.o.d"
+  "net_rebuild_test"
+  "net_rebuild_test.pdb"
+  "net_rebuild_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_rebuild_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_simulator_test.dir/net_simulator_test.cc.o"
+  "CMakeFiles/net_simulator_test.dir/net_simulator_test.cc.o.d"
+  "net_simulator_test"
+  "net_simulator_test.pdb"
+  "net_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_topology_test.dir/net_topology_test.cc.o"
+  "CMakeFiles/net_topology_test.dir/net_topology_test.cc.o.d"
+  "net_topology_test"
+  "net_topology_test.pdb"
+  "net_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_adaptive_test.dir/sampling_adaptive_test.cc.o"
+  "CMakeFiles/sampling_adaptive_test.dir/sampling_adaptive_test.cc.o.d"
+  "sampling_adaptive_test"
+  "sampling_adaptive_test.pdb"
+  "sampling_adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

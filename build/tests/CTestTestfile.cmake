@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_simplex_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_bnb_test[1]_include.cmake")
+include("/root/repo/build/tests/net_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/net_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/net_rebuild_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/sampling_test[1]_include.cmake")
+include("/root/repo/build/tests/core_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/core_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/core_proof_test[1]_include.cmake")
+include("/root/repo/build/tests/core_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/core_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/core_latency_test[1]_include.cmake")
+include("/root/repo/build/tests/core_event_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_plan_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_kkt_test[1]_include.cmake")
+include("/root/repo/build/tests/net_mst_test[1]_include.cmake")
+include("/root/repo/build/tests/sampling_adaptive_test[1]_include.cmake")
+include("/root/repo/build/tests/core_lifetime_test[1]_include.cmake")
+include("/root/repo/build/tests/core_session_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_limits_test[1]_include.cmake")
+include("/root/repo/build/tests/core_acquisition_test[1]_include.cmake")
