@@ -8,6 +8,8 @@
 // far worse still.
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "src/core/greedy_planner.h"
@@ -15,8 +17,10 @@
 #include "src/core/lp_no_filter_planner.h"
 #include "src/core/naive.h"
 #include "src/core/oracle.h"
+#include "src/core/plan_manager.h"
 #include "src/data/gaussian_field.h"
 #include "src/net/topology.h"
+#include "src/util/thread_pool.h"
 
 namespace prospector {
 namespace {
@@ -26,7 +30,7 @@ constexpr int kTop = 10;
 constexpr int kSamples = 25;
 constexpr int kQueryEpochs = 40;
 
-void Run() {
+void Run(int threads) {
   Rng rng(20060403);
   net::GeometricNetworkOptions geo;
   geo.num_nodes = kNodes;
@@ -47,19 +51,45 @@ void Run() {
               kNodes, kTop, kSamples, kQueryEpochs);
 
   // ---- Approximate planners over an energy-budget sweep. ----
+  // The budget points are independent LP/greedy solves, so they all go
+  // through PlanSweep; with threads > 1 they run concurrently and — by the
+  // determinism contract — produce the same plans as the serial sweep.
   const std::vector<double> budgets{2, 4, 6, 8, 12, 16, 24, 32};
-  core::GreedyPlanner greedy;
-  core::LpNoFilterPlanner lp_no_lf;
-  core::LpFilterPlanner lp_lf;
-  core::Planner* planners[] = {&greedy, &lp_no_lf, &lp_lf};
-  for (core::Planner* p : planners) {
-    bench::PrintHeader(p->name(), {"budget_mJ", "energy_mJ", "accuracy_pct"});
-    for (double b : budgets) {
-      bench::EvalResult r;
-      if (bench::PlanAndEvaluate(p, ctx, samples, kTop, b, truth_fn,
-                                 kQueryEpochs, 555, &r)) {
-        bench::PrintRow({b, r.avg_energy_mj, 100.0 * r.avg_accuracy});
+  std::vector<core::PlanRequest> requests;
+  for (double b : budgets) {
+    core::PlanRequest req;
+    req.k = kTop;
+    req.energy_budget_mj = b;
+    requests.push_back(req);
+  }
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+
+  struct Algo {
+    std::string name;
+    core::PlannerFactory factory;
+  };
+  const Algo algos[] = {
+      {"ProspectorGreedy",
+       [] { return std::make_unique<core::GreedyPlanner>(); }},
+      {"ProspectorLP-LF",
+       [] { return std::make_unique<core::LpNoFilterPlanner>(); }},
+      {"ProspectorLP+LF",
+       [] { return std::make_unique<core::LpFilterPlanner>(); }},
+  };
+  for (const Algo& algo : algos) {
+    bench::PrintHeader(algo.name, {"budget_mJ", "energy_mJ", "accuracy_pct"});
+    const auto plans =
+        core::PlanSweep(algo.factory, ctx, samples, requests, pool.get());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      if (!plans[i].ok()) {
+        std::fprintf(stderr, "# %s @ %.1f mJ: %s\n", algo.name.c_str(),
+                     budgets[i], plans[i].status().ToString().c_str());
+        continue;
       }
+      bench::EvalResult r = bench::EvaluatePlan(
+          *plans[i], topo, ctx.energy, truth_fn, kQueryEpochs, 555);
+      bench::PrintRow({budgets[i], r.avg_energy_mj, 100.0 * r.avg_accuracy});
     }
   }
 
@@ -110,7 +140,10 @@ void Run() {
 }  // namespace
 }  // namespace prospector
 
-int main() {
-  prospector::Run();
+int main(int argc, char** argv) {
+  // Optional argv[1]: planner threads for the budget sweep (default 1,
+  // which reproduces the seed's serial behavior exactly).
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 1;
+  prospector::Run(threads > 0 ? threads : 1);
   return 0;
 }

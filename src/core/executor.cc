@@ -10,9 +10,19 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
                                             net::NetworkSimulator* sim,
                                             bool include_trigger) {
   const net::Topology& topo = sim->topology();
+
+  // Clamp effective bandwidth by the path to the root before spending any
+  // energy: in an inconsistent plan (child bandwidth > 0 beneath an edge
+  // that carries nothing) the children would otherwise pay acquisition and
+  // Unicast energy for readings their ancestor must drop. Normalize() is
+  // idempotent, so plans from the planners pass through unchanged.
+  QueryPlan normalized = plan;
+  normalized.Normalize(topo);
+  const QueryPlan& p = normalized;
+
   ExecutionResult result;
   if (include_trigger) {
-    result.trigger_energy_mj = ChargeTriggerCost(plan, sim);
+    result.trigger_energy_mj = ChargeTriggerCost(p, sim);
   }
 
   std::vector<std::vector<Reading>> inbox(topo.num_nodes());
@@ -21,19 +31,19 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
     if (u == topo.root()) continue;
     std::vector<Reading>& mine = inbox[u];
     std::vector<Reading> outgoing;
-    if (plan.kind == PlanKind::kBandwidth) {
-      if (plan.bandwidth[u] <= 0) continue;
+    if (p.kind == PlanKind::kBandwidth) {
+      if (p.bandwidth[u] <= 0) continue;
       // Local filtering: own reading plus children's lists, keep top-b.
       collection += sim->ChargeAcquisition(u);
       mine.push_back({u, truth[u]});
       SortReadings(&mine);
-      if (static_cast<int>(mine.size()) > plan.bandwidth[u]) {
-        mine.resize(plan.bandwidth[u]);
+      if (static_cast<int>(mine.size()) > p.bandwidth[u]) {
+        mine.resize(p.bandwidth[u]);
       }
       outgoing = std::move(mine);
     } else {
       // Node selection: forward everything; no filtering.
-      if (plan.chosen[u]) {
+      if (p.chosen[u]) {
         collection += sim->ChargeAcquisition(u);
         mine.push_back({u, truth[u]});
       }
@@ -50,8 +60,8 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
   result.arrived.push_back({topo.root(), truth[topo.root()]});
   SortReadings(&result.arrived);
   result.answer = result.arrived;
-  if (static_cast<int>(result.answer.size()) > plan.k) {
-    result.answer.resize(plan.k);
+  if (static_cast<int>(result.answer.size()) > p.k) {
+    result.answer.resize(p.k);
   }
   return result;
 }

@@ -32,8 +32,10 @@ struct ExecutionResult {
 /// node-selection plans) over the simulator, charging every message.
 class CollectionExecutor {
  public:
-  /// Runs one trigger wave plus one collection phase. The plan should be
-  /// Normalize()d. `truth` holds the current reading of every node.
+  /// Runs one trigger wave plus one collection phase. `truth` holds the
+  /// current reading of every node. The plan is defensively Normalize()d
+  /// first (a no-op for planner output), so an inconsistent hand-built
+  /// plan cannot charge children for readings an ancestor edge drops.
   static ExecutionResult Execute(const QueryPlan& plan,
                                  const std::vector<double>& truth,
                                  net::NetworkSimulator* sim,

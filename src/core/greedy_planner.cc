@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/core/plan_eval.h"
+
 namespace prospector {
 namespace core {
 
@@ -11,18 +13,28 @@ Result<QueryPlan> GreedyPlanner::Plan(const PlannerContext& ctx,
                                       const PlanRequest& request) {
   const net::Topology& topo = *ctx.topology;
   const int n = topo.num_nodes();
+  const int root = topo.root();
   if (samples.num_nodes() != n) {
     return Status::InvalidArgument("sample set does not match topology size");
   }
+  util::ThreadPool* pool = EnsureThreadPool(&pool_, options_.threads);
 
   // Candidate order: descending column sum, then node id (deterministic).
   std::vector<int> order;
-  for (int i = 1; i < n; ++i) order.push_back(i);
+  for (int i = 0; i < n; ++i) {
+    if (i != root) order.push_back(i);
+  }
   const std::vector<int>& colsum = samples.column_sums();
   std::sort(order.begin(), order.end(), [&](int a, int b) {
     if (colsum[a] != colsum[b]) return colsum[a] > colsum[b];
     return a < b;
   });
+
+  // Root paths per candidate, precomputed in parallel (each entry is
+  // independent); the greedy scan itself stays sequential and accumulates
+  // costs in exactly the serial order, so plans are bit-identical for any
+  // thread count.
+  const std::vector<std::vector<int>> paths = ComputePathCache(topo, pool);
 
   std::vector<char> chosen(n, 0);
   std::vector<char> edge_used(n, 0);
@@ -30,14 +42,14 @@ Result<QueryPlan> GreedyPlanner::Plan(const PlannerContext& ctx,
   for (int i : order) {
     if (colsum[i] == 0) break;  // remaining nodes never contributed
     double added = ctx.NodeAcquisitionCost();
-    for (int e : topo.PathEdges(i)) {
+    for (int e : paths[i]) {
       added += ctx.EdgePerValueCost(e);
       if (!edge_used[e]) added += ctx.EdgeFixedCost(e);
     }
     if (cost + added > request.energy_budget_mj) break;
     cost += added;
     chosen[i] = 1;
-    for (int e : topo.PathEdges(i)) edge_used[e] = 1;
+    for (int e : paths[i]) edge_used[e] = 1;
   }
 
   QueryPlan plan = QueryPlan::NodeSelection(request.k, std::move(chosen), topo);

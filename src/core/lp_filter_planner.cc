@@ -15,25 +15,46 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
                                         const PlanRequest& request) {
   const net::Topology& topo = *ctx.topology;
   const int n = topo.num_nodes();
+  const int root = topo.root();
   if (samples.num_nodes() != n) {
     return Status::InvalidArgument("sample set does not match topology size");
   }
   const int S = samples.num_samples();
+  util::ThreadPool* pool = EnsureThreadPool(&pool_, options_.threads);
+
+  const std::vector<std::vector<int>> paths = ComputePathCache(topo, pool);
 
   // Only edges that lie beneath some contributing node can ever deliver a
-  // hit; restrict the program to those.
+  // hit; restrict the program to those. Samples are scanned independently
+  // and their edge masks OR-ed together in sample order.
   std::vector<char> relevant(n, 0);
-  for (int j = 0; j < S; ++j) {
-    for (int i : samples.ones(j)) {
-      for (int e : topo.PathEdges(i)) relevant[e] = 1;
+  if (pool != nullptr) {
+    relevant = pool->ParallelReduce<std::vector<char>>(
+        S, std::vector<char>(n, 0),
+        [&](int j) {
+          std::vector<char> mask(n, 0);
+          for (int i : samples.ones(j)) {
+            for (int e : paths[i]) mask[e] = 1;
+          }
+          return mask;
+        },
+        [](std::vector<char> acc, std::vector<char> mask) {
+          for (size_t e = 0; e < acc.size(); ++e) acc[e] |= mask[e];
+          return acc;
+        });
+  } else {
+    for (int j = 0; j < S; ++j) {
+      for (int i : samples.ones(j)) {
+        for (int e : paths[i]) relevant[e] = 1;
+      }
     }
   }
 
   lp::Model model;
   model.SetSense(lp::Sense::kMaximize);
   std::vector<int> z(n, -1), b(n, -1);
-  for (int e = 1; e < n; ++e) {
-    if (!relevant[e]) continue;
+  for (int e = 0; e < n; ++e) {
+    if (e == root || !relevant[e]) continue;
     z[e] = model.AddBinaryRelaxed(0.0);
     const double ub = std::min(request.k, topo.subtree_size(e));
     b[e] = model.AddVariable(0.0, ub, 0.0);
@@ -46,10 +67,10 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
   for (int j = 0; j < S; ++j) {
     std::unordered_map<int, std::vector<lp::Term>> bandwidth_terms;
     for (int i : samples.ones(j)) {
-      if (i == topo.root()) continue;  // the root's value is free
+      if (i == root) continue;  // the root's value is free
       const int yv = model.AddBinaryRelaxed(1.0);
       y[j][i] = yv;
-      for (int e : topo.PathEdges(i)) {
+      for (int e : paths[i]) {
         // Line (7): returning i's value uses every edge above i.
         model.AddRow(lp::RowType::kLessEqual, 0.0, {{yv, 1.0}, {z[e], -1.0}});
         bandwidth_terms[e].push_back({yv, 1.0});
@@ -66,8 +87,8 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
 
   // Line (6): the energy budget.
   std::vector<lp::Term> cost_row;
-  for (int e = 1; e < n; ++e) {
-    if (z[e] < 0) continue;
+  for (int e = 0; e < n; ++e) {
+    if (e == root || z[e] < 0) continue;
     cost_row.push_back({z[e], ctx.EdgeFixedCost(e) + ctx.NodeAcquisitionCost()});
     cost_row.push_back({b[e], ctx.EdgePerValueCost(e)});
   }
@@ -89,7 +110,7 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
     std::unordered_map<int, int> count;
     for (const auto& [i, yv] : y[j]) {
       if (solved->values[yv] > options_.rounding_threshold) {
-        for (int e : topo.PathEdges(i)) ++count[e];
+        for (int e : paths[i]) ++count[e];
       }
     }
     for (const auto& [e, c] : count) bw[e] = std::max(bw[e], c);
@@ -99,34 +120,54 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
   plan.Normalize(topo);
 
   // Budget repair: drop the bandwidth unit whose loss costs the fewest
-  // sample hits per mJ reclaimed, until the plan fits.
+  // sample hits per mJ reclaimed, until the plan fits. Candidate trials
+  // are independent, so each round scores them on the pool and then picks
+  // the winner in ascending edge order — the same argmin the serial loop
+  // computes.
   if (options_.repair_budget) {
     net::NetworkSimulator cost_sim(&topo, ctx.energy, ctx.failures);
-    int hits = SampleHits(plan, topo, samples);
+    int hits = SampleHits(plan, topo, samples, pool);
     while (ExpectedCollectionCost(plan, cost_sim) > request.energy_budget_mj) {
-      int best_e = -1;
-      double best_score = 0.0;
-      int best_hits = 0;
-      for (int e = 1; e < n; ++e) {
-        if (plan.bandwidth[e] <= 0) continue;
-        QueryPlan trial = plan;
-        --trial.bandwidth[e];
-        trial.Normalize(topo);
-        const int trial_hits = SampleHits(trial, topo, samples);
-        const double saved = ExpectedCollectionCost(plan, cost_sim) -
-                             ExpectedCollectionCost(trial, cost_sim);
-        const double score =
-            static_cast<double>(hits - trial_hits) / std::max(saved, 1e-12);
-        if (best_e < 0 || score < best_score) {
-          best_e = e;
-          best_score = score;
-          best_hits = trial_hits;
+      std::vector<int> candidates;
+      for (int e = 0; e < n; ++e) {
+        if (e != root && plan.bandwidth[e] > 0) candidates.push_back(e);
+      }
+      if (candidates.empty()) break;  // nothing left to trim
+
+      struct TrialScore {
+        double score = 0.0;
+        int hits = 0;
+      };
+      const double plan_cost = ExpectedCollectionCost(plan, cost_sim);
+      std::vector<TrialScore> scores(candidates.size());
+      auto score_range = [&](int begin, int end) {
+        for (int c = begin; c < end; ++c) {
+          QueryPlan trial = plan;
+          --trial.bandwidth[candidates[c]];
+          trial.Normalize(topo);
+          const int trial_hits = SampleHits(trial, topo, samples);
+          const double saved =
+              plan_cost - ExpectedCollectionCost(trial, cost_sim);
+          scores[c].score =
+              static_cast<double>(hits - trial_hits) / std::max(saved, 1e-12);
+          scores[c].hits = trial_hits;
+        }
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(static_cast<int>(candidates.size()), score_range);
+      } else {
+        score_range(0, static_cast<int>(candidates.size()));
+      }
+
+      int best = -1;
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        if (best < 0 || scores[c].score < scores[best].score) {
+          best = static_cast<int>(c);
         }
       }
-      if (best_e < 0) break;  // nothing left to trim
-      --plan.bandwidth[best_e];
+      --plan.bandwidth[candidates[best]];
       plan.Normalize(topo);
-      hits = best_hits;
+      hits = scores[best].hits;
     }
   }
 
@@ -137,21 +178,21 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
   if (options_.fill_budget) {
     net::NetworkSimulator cost_sim(&topo, ctx.energy, ctx.failures);
     std::vector<int> order;
-    for (int i = 1; i < n; ++i) {
-      if (samples.column_sums()[i] > 0) order.push_back(i);
+    for (int i = 0; i < n; ++i) {
+      if (i != root && samples.column_sums()[i] > 0) order.push_back(i);
     }
     std::sort(order.begin(), order.end(), [&](int a, int bnode) {
       const auto& cs = samples.column_sums();
       if (cs[a] != cs[bnode]) return cs[a] > cs[bnode];
       return a < bnode;
     });
-    int hits = SampleHits(plan, topo, samples);
+    int hits = SampleHits(plan, topo, samples, pool);
     bool progress = true;
     while (progress) {
       progress = false;
       for (int i : order) {
         QueryPlan trial = plan;
-        for (int e : topo.PathEdges(i)) {
+        for (int e : paths[i]) {
           trial.bandwidth[e] =
               std::min(trial.bandwidth[e] + 1,
                        std::min(request.k, topo.subtree_size(e)));
@@ -160,7 +201,7 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
             request.energy_budget_mj) {
           continue;
         }
-        const int trial_hits = SampleHits(trial, topo, samples);
+        const int trial_hits = SampleHits(trial, topo, samples, pool);
         if (trial_hits > hits) {
           plan = std::move(trial);
           hits = trial_hits;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/core/plan_eval.h"
 #include "src/lp/model.h"
 
 namespace prospector {
@@ -11,14 +12,16 @@ namespace {
 
 // Expected cost of shipping the chosen nodes' values to the root: per-value
 // cost on every path edge plus per-message cost on every used edge.
+// `paths` is the topology's path cache (see ComputePathCache).
 double SelectionCost(const PlannerContext& ctx, const net::Topology& topo,
+                     const std::vector<std::vector<int>>& paths,
                      const std::vector<char>& chosen) {
   std::vector<char> used(topo.num_nodes(), 0);
   double cost = 0.0;
-  for (int i = 1; i < topo.num_nodes(); ++i) {
-    if (!chosen[i]) continue;
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    if (i == topo.root() || !chosen[i]) continue;
     cost += ctx.NodeAcquisitionCost();
-    for (int e : topo.PathEdges(i)) {
+    for (int e : paths[i]) {
       cost += ctx.EdgePerValueCost(e);
       if (!used[e]) {
         used[e] = 1;
@@ -36,29 +39,48 @@ Result<QueryPlan> LpNoFilterPlanner::Plan(const PlannerContext& ctx,
                                           const PlanRequest& request) {
   const net::Topology& topo = *ctx.topology;
   const int n = topo.num_nodes();
+  const int root = topo.root();
   if (samples.num_nodes() != n) {
     return Status::InvalidArgument("sample set does not match topology size");
   }
   const std::vector<int>& colsum = samples.column_sums();
+  util::ThreadPool* pool = EnsureThreadPool(&pool_, options_.threads);
+
+  // Constraint-matrix ingredients: every node's root path and its summed
+  // per-value cost. Both are per-node independent, so they are produced on
+  // the pool; each node's sum is accumulated by one thread in path order,
+  // keeping the bits identical to the serial loop.
+  const std::vector<std::vector<int>> paths = ComputePathCache(topo, pool);
+  std::vector<double> path_value_cost(n, 0.0);
+  auto accumulate_costs = [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      for (int e : paths[i]) path_value_cost[i] += ctx.EdgePerValueCost(e);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n, accumulate_costs);
+  } else {
+    accumulate_costs(0, n);
+  }
 
   lp::Model model;
   model.SetSense(lp::Sense::kMaximize);
   // x_i: acquire node i and ship to root. z_e: edge e carries a message.
   std::vector<int> x(n, -1), z(n, -1);
-  for (int i = 1; i < n; ++i) {
+  for (int i = 0; i < n; ++i) {
+    if (i == root) continue;
     x[i] = model.AddBinaryRelaxed(static_cast<double>(colsum[i]));
     z[i] = model.AddBinaryRelaxed(0.0);
   }
 
   std::vector<lp::Term> cost_row;
-  for (int i = 1; i < n; ++i) {
-    double path_value_cost = 0.0;
-    for (int e : topo.PathEdges(i)) {
+  for (int i = 0; i < n; ++i) {
+    if (i == root) continue;
+    for (int e : paths[i]) {
       // Line (2): choosing x_i forces every edge above i into use.
       model.AddRow(lp::RowType::kLessEqual, 0.0, {{x[i], 1.0}, {z[e], -1.0}});
-      path_value_cost += ctx.EdgePerValueCost(e);
     }
-    cost_row.push_back({x[i], path_value_cost + ctx.NodeAcquisitionCost()});
+    cost_row.push_back({x[i], path_value_cost[i] + ctx.NodeAcquisitionCost()});
     cost_row.push_back({z[i], ctx.EdgeFixedCost(i)});
   }
   // Line (3): the energy budget.
@@ -75,16 +97,18 @@ Result<QueryPlan> LpNoFilterPlanner::Plan(const PlannerContext& ctx,
 
   // Round x at the threshold (Section 4.1).
   std::vector<char> chosen(n, 0);
-  for (int i = 1; i < n; ++i) {
+  for (int i = 0; i < n; ++i) {
+    if (i == root) continue;
     chosen[i] = solved->values[x[i]] > options_.rounding_threshold ? 1 : 0;
   }
 
   // Repair: rounding can cost up to 2C; drop the cheapest-to-lose choices
   // (lowest column sum) until the plan fits the budget again.
   if (options_.repair_budget) {
-    while (SelectionCost(ctx, topo, chosen) > request.energy_budget_mj) {
+    while (SelectionCost(ctx, topo, paths, chosen) > request.energy_budget_mj) {
       int worst = -1;
-      for (int i = 1; i < n; ++i) {
+      for (int i = 0; i < n; ++i) {
+        if (i == root) continue;
         if (chosen[i] && (worst < 0 || colsum[i] < colsum[worst])) worst = i;
       }
       if (worst < 0) break;
@@ -95,29 +119,29 @@ Result<QueryPlan> LpNoFilterPlanner::Plan(const PlannerContext& ctx,
   // Fill: spend leftover budget on the best unchosen nodes that still fit.
   if (options_.fill_budget) {
     std::vector<int> order;
-    for (int i = 1; i < n; ++i) {
-      if (!chosen[i] && colsum[i] > 0) order.push_back(i);
+    for (int i = 0; i < n; ++i) {
+      if (i != root && !chosen[i] && colsum[i] > 0) order.push_back(i);
     }
     std::sort(order.begin(), order.end(), [&](int a, int b) {
       if (colsum[a] != colsum[b]) return colsum[a] > colsum[b];
       return a < b;
     });
-    double cost = SelectionCost(ctx, topo, chosen);
+    double cost = SelectionCost(ctx, topo, paths, chosen);
     std::vector<char> used(n, 0);
-    for (int i = 1; i < n; ++i) {
-      if (!chosen[i]) continue;
-      for (int e : topo.PathEdges(i)) used[e] = 1;
+    for (int i = 0; i < n; ++i) {
+      if (i == root || !chosen[i]) continue;
+      for (int e : paths[i]) used[e] = 1;
     }
     for (int i : order) {
       double added = ctx.NodeAcquisitionCost();
-      for (int e : topo.PathEdges(i)) {
+      for (int e : paths[i]) {
         added += ctx.EdgePerValueCost(e);
         if (!used[e]) added += ctx.EdgeFixedCost(e);
       }
       if (cost + added > request.energy_budget_mj) continue;
       cost += added;
       chosen[i] = 1;
-      for (int e : topo.PathEdges(i)) used[e] = 1;
+      for (int e : paths[i]) used[e] = 1;
     }
   }
 

@@ -27,15 +27,15 @@ QueryPlan QueryPlan::NodeSelection(int k, std::vector<char> chosen_mask,
   p.chosen = std::move(chosen_mask);
   p.bandwidth.assign(topology.num_nodes(), 0);
   // Each chosen node's value crosses every edge on its path to the root.
-  for (int i = 1; i < topology.num_nodes(); ++i) {
-    if (!p.chosen[i]) continue;
+  for (int i = 0; i < topology.num_nodes(); ++i) {
+    if (i == topology.root() || !p.chosen[i]) continue;
     for (int e : topology.PathEdges(i)) ++p.bandwidth[e];
   }
   return p;
 }
 
 QueryPlan& QueryPlan::Normalize(const net::Topology& topology) {
-  bandwidth[0] = 0;
+  bandwidth[topology.root()] = 0;
   for (int u : topology.PreOrder()) {
     if (u == topology.root()) continue;
     bandwidth[u] = std::min(bandwidth[u], topology.subtree_size(u));
@@ -52,7 +52,8 @@ QueryPlan& QueryPlan::Normalize(const net::Topology& topology) {
 
 int QueryPlan::CountVisitedNodes(const net::Topology& topology) const {
   int count = 1;  // the root
-  for (int u = 1; u < topology.num_nodes(); ++u) {
+  for (int u = 0; u < topology.num_nodes(); ++u) {
+    if (u == topology.root()) continue;
     if (kind == PlanKind::kNodeSelection) {
       count += chosen[u] ? 1 : 0;
     } else {
@@ -66,7 +67,8 @@ std::string QueryPlan::DebugString(const net::Topology& topology) const {
   std::ostringstream os;
   os << (kind == PlanKind::kBandwidth ? "bandwidth" : "node-selection")
      << " plan, k=" << k << (proof_carrying ? ", proof-carrying" : "") << ":";
-  for (int u = 1; u < topology.num_nodes(); ++u) {
+  for (int u = 0; u < topology.num_nodes(); ++u) {
+    if (u == topology.root()) continue;
     if (bandwidth[u] > 0) {
       os << " e" << u << "->" << topology.parent(u) << ":" << bandwidth[u];
     }
@@ -77,8 +79,10 @@ std::string QueryPlan::DebugString(const net::Topology& topology) const {
 double ExpectedCollectionCost(const QueryPlan& plan,
                               const net::NetworkSimulator& sim) {
   const double acquisition = sim.energy_model().acquisition_mj;
+  const int root = sim.topology().root();
   double cost = 0.0;
-  for (int e = 1; e < static_cast<int>(plan.bandwidth.size()); ++e) {
+  for (int e = 0; e < static_cast<int>(plan.bandwidth.size()); ++e) {
+    if (e == root) continue;  // the root owns no edge
     if (plan.bandwidth[e] > 0) {
       cost += sim.ExpectedUnicastCost(e, plan.bandwidth[e]);
       // A participating node must take its measurement (Section 4.4); the

@@ -25,8 +25,9 @@ enum class PlanKind {
 ///
 /// For both kinds, `bandwidth[i]` is the number of values edge i (the link
 /// from node i to its parent) carries; for node-selection plans it is
-/// derived from `chosen` and used only for costing. Entry 0 (the root,
-/// which has no edge) is unused and always 0.
+/// derived from `chosen` and used only for costing. The root's entry (it
+/// owns no edge) is unused and always 0; Normalize() enforces this for the
+/// actual root id.
 struct QueryPlan {
   PlanKind kind = PlanKind::kBandwidth;
   int k = 0;
@@ -37,6 +38,8 @@ struct QueryPlan {
   bool UsesEdge(int child_edge) const { return bandwidth[child_edge] > 0; }
 
   /// Creates a bandwidth plan; `bandwidths` indexed by child-edge id.
+  /// Zeroes entry 0 as a convenience for the (standard) root-at-0 layout;
+  /// plans for topologies rooted elsewhere must be Normalize()d.
   static QueryPlan Bandwidth(int k, std::vector<int> bandwidths,
                              bool proof_carrying = false);
 

@@ -8,31 +8,55 @@ namespace core {
 int SampleHitsForSample(const QueryPlan& plan, const net::Topology& topology,
                         const sampling::SampleSet& samples, int j) {
   const int n = topology.num_nodes();
-  int hits = samples.Contributes(j, topology.root()) ? 1 : 0;
+  const int root = topology.root();
+  int hits = samples.Contributes(j, root) ? 1 : 0;
   if (plan.kind == PlanKind::kNodeSelection) {
-    for (int i = 1; i < n; ++i) {
+    for (int i = 0; i < n; ++i) {
+      if (i == root) continue;  // already counted; root needs no plan entry
       if (plan.chosen[i] && samples.Contributes(j, i)) ++hits;
     }
     return hits;
   }
   std::vector<int> f(n, 0);
   for (int u : topology.PostOrder()) {
-    if (u == topology.root()) continue;
+    if (u == root) continue;
     int avail = samples.Contributes(j, u) ? 1 : 0;
     for (int c : topology.children(u)) avail += f[c];
     f[u] = std::min(plan.bandwidth[u], avail);
   }
-  for (int c : topology.children(topology.root())) hits += f[c];
+  for (int c : topology.children(root)) hits += f[c];
   return hits;
 }
 
 int SampleHits(const QueryPlan& plan, const net::Topology& topology,
-               const sampling::SampleSet& samples) {
+               const sampling::SampleSet& samples, util::ThreadPool* pool) {
+  const int S = samples.num_samples();
+  if (pool != nullptr) {
+    return pool->ParallelReduce<int>(
+        S, 0,
+        [&](int j) { return SampleHitsForSample(plan, topology, samples, j); },
+        [](int acc, int v) { return acc + v; });
+  }
   int total = 0;
-  for (int j = 0; j < samples.num_samples(); ++j) {
+  for (int j = 0; j < S; ++j) {
     total += SampleHitsForSample(plan, topology, samples, j);
   }
   return total;
+}
+
+std::vector<std::vector<int>> ComputePathCache(const net::Topology& topology,
+                                               util::ThreadPool* pool) {
+  const int n = topology.num_nodes();
+  std::vector<std::vector<int>> paths(n);
+  auto fill = [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) paths[i] = topology.PathEdges(i);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n, fill);
+  } else {
+    fill(0, n);
+  }
+  return paths;
 }
 
 }  // namespace core

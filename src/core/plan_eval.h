@@ -4,6 +4,7 @@
 #include "src/core/plan.h"
 #include "src/net/topology.h"
 #include "src/sampling/sample_set.h"
+#include "src/util/thread_pool.h"
 
 namespace prospector {
 namespace core {
@@ -19,12 +20,26 @@ namespace core {
 /// and the root collects sum_children f(c) plus its own contribution.
 /// This is the integral counterpart of the LP+LF objective, used for
 /// rounding repair and for tests.
+///
+/// Samples are independent, so when `pool` is non-null the per-sample
+/// evaluations run on it; the total is accumulated in sample order either
+/// way, so the result is identical for any thread count (and for
+/// `pool == nullptr`).
 int SampleHits(const QueryPlan& plan, const net::Topology& topology,
-               const sampling::SampleSet& samples);
+               const sampling::SampleSet& samples,
+               util::ThreadPool* pool = nullptr);
 
 /// SampleHits for one sample only.
 int SampleHitsForSample(const QueryPlan& plan, const net::Topology& topology,
                         const sampling::SampleSet& samples, int j);
+
+/// PathEdges(i) for every node, materialized once (entry root() is empty).
+/// The planners walk root paths over and over while building constraint
+/// rows and scoring candidates; caching removes the repeated allocation,
+/// and the per-node computations are independent, so they run on `pool`
+/// when one is supplied.
+std::vector<std::vector<int>> ComputePathCache(const net::Topology& topology,
+                                               util::ThreadPool* pool = nullptr);
 
 }  // namespace core
 }  // namespace prospector

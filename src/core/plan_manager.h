@@ -1,12 +1,17 @@
 #ifndef PROSPECTOR_CORE_PLAN_MANAGER_H_
 #define PROSPECTOR_CORE_PLAN_MANAGER_H_
 
+#include <functional>
+#include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/core/plan.h"
 #include "src/core/plan_eval.h"
 #include "src/core/planner.h"
 #include "src/net/simulator.h"
+#include "src/util/thread_pool.h"
 
 namespace prospector {
 namespace core {
@@ -30,6 +35,10 @@ struct PlanManagerOptions {
   double min_accuracy = 0.90;
   double base_explore_probability = 0.02;
   double boosted_explore_probability = 0.20;
+  /// Optional worker pool for the expected-hits evaluations that gate
+  /// re-dissemination (not owned). nullptr = the serial seed path;
+  /// decisions are identical either way.
+  util::ThreadPool* pool = nullptr;
 };
 
 class PlanManager {
@@ -51,9 +60,11 @@ class PlanManager {
                            net::NetworkSimulator* sim) {
     auto candidate = planner_->Plan(ctx, samples, request_);
     if (!candidate.ok()) return candidate.status();
-    const int new_hits = SampleHits(*candidate, *ctx.topology, samples);
+    const int new_hits =
+        SampleHits(*candidate, *ctx.topology, samples, options_.pool);
     if (plan_.has_value()) {
-      const int cur_hits = SampleHits(*plan_, *ctx.topology, samples);
+      const int cur_hits =
+          SampleHits(*plan_, *ctx.topology, samples, options_.pool);
       if (new_hits <=
           cur_hits * (1.0 + options_.improvement_threshold)) {
         return false;
@@ -90,6 +101,38 @@ class PlanManager {
   double last_accuracy_ = 1.0;
   bool boosted_ = false;
 };
+
+/// Creates a fresh planner per sweep point; planners keep per-Plan() state
+/// (LP objectives, lazily built pools), so instances must not be shared
+/// across concurrent requests.
+using PlannerFactory = std::function<std::unique_ptr<Planner>()>;
+
+/// Solves many independent planning requests — a budget or k sweep, the
+/// workload of the figure benches and of continuous re-planning at the
+/// base station. Each request plans with its own planner instance from
+/// `factory`; with a pool the requests run concurrently, and the result
+/// vector is indexed by request either way, so output is identical for
+/// any thread count.
+inline std::vector<Result<QueryPlan>> PlanSweep(
+    const PlannerFactory& factory, const PlannerContext& ctx,
+    const sampling::SampleSet& samples,
+    const std::vector<PlanRequest>& requests,
+    util::ThreadPool* pool = nullptr) {
+  std::vector<Result<QueryPlan>> results(
+      requests.size(), Result<QueryPlan>(Status::Internal("not planned")));
+  auto solve_range = [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      results[i] = factory()->Plan(ctx, samples, requests[i]);
+    }
+  };
+  const int n = static_cast<int>(requests.size());
+  if (pool != nullptr) {
+    pool->ParallelFor(n, solve_range);
+  } else {
+    solve_range(0, n);
+  }
+  return results;
+}
 
 }  // namespace core
 }  // namespace prospector

@@ -1,6 +1,7 @@
 #ifndef PROSPECTOR_CORE_PLANNER_H_
 #define PROSPECTOR_CORE_PLANNER_H_
 
+#include <memory>
 #include <string>
 
 #include "src/core/plan.h"
@@ -9,6 +10,7 @@
 #include "src/net/topology.h"
 #include "src/sampling/sample_set.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace prospector {
 namespace core {
@@ -45,6 +47,19 @@ struct PlanRequest {
   /// stays within this budget.
   double energy_budget_mj = 0.0;
 };
+
+/// Lazily materializes a planner's worker pool from its `threads` option.
+/// Returns nullptr when `threads <= 1`, which callers treat as "use the
+/// serial code path" — the seed (single-threaded) behavior. Results are
+/// bit-identical either way; only wall time changes.
+inline util::ThreadPool* EnsureThreadPool(
+    std::unique_ptr<util::ThreadPool>* slot, int threads) {
+  if (threads <= 1) return nullptr;
+  if (*slot == nullptr || (*slot)->num_threads() != threads) {
+    *slot = std::make_unique<util::ThreadPool>(threads);
+  }
+  return slot->get();
+}
 
 /// Common interface of the PROSPECTOR planning algorithms: given past
 /// samples and an energy budget, produce an executable plan.

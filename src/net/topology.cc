@@ -10,29 +10,40 @@ namespace net {
 Result<Topology> Topology::FromParents(std::vector<int> parents) {
   const int n = static_cast<int>(parents.size());
   if (n == 0) return Status::InvalidArgument("empty parent vector");
-  if (parents[0] != kNoParent) {
-    return Status::InvalidArgument("node 0 must be the root (parent -1)");
-  }
-  for (int i = 1; i < n; ++i) {
-    if (parents[i] < 0 || parents[i] >= n || parents[i] == i) {
+  int root = kNoParent;
+  for (int i = 0; i < n; ++i) {
+    if (parents[i] == kNoParent) {
+      if (root != kNoParent) {
+        return Status::InvalidArgument("multiple roots: nodes " +
+                                       std::to_string(root) + " and " +
+                                       std::to_string(i) + " have parent -1");
+      }
+      root = i;
+    } else if (parents[i] < 0 || parents[i] >= n || parents[i] == i) {
       return Status::InvalidArgument("node " + std::to_string(i) +
                                      " has invalid parent " +
                                      std::to_string(parents[i]));
     }
   }
+  if (root == kNoParent) {
+    return Status::InvalidArgument("no root: some node must have parent -1");
+  }
 
   Topology t;
+  t.root_ = root;
   t.parents_ = std::move(parents);
   t.children_.assign(n, {});
-  for (int i = 1; i < n; ++i) t.children_[t.parents_[i]].push_back(i);
+  for (int i = 0; i < n; ++i) {
+    if (i != root) t.children_[t.parents_[i]].push_back(i);
+  }
 
   // BFS from the root assigns depths and detects unreachable nodes
   // (which imply a cycle or a forest).
   t.depth_.assign(n, -1);
   t.pre_order_.clear();
   t.pre_order_.reserve(n);
-  std::deque<int> queue{0};
-  t.depth_[0] = 0;
+  std::deque<int> queue{root};
+  t.depth_[root] = 0;
   while (!queue.empty()) {
     const int u = queue.front();
     queue.pop_front();
@@ -52,7 +63,7 @@ Result<Topology> Topology::FromParents(std::vector<int> parents) {
 
   t.subtree_size_.assign(n, 1);
   for (int u : t.post_order_) {
-    if (u != 0) t.subtree_size_[t.parents_[u]] += t.subtree_size_[u];
+    if (u != root) t.subtree_size_[t.parents_[u]] += t.subtree_size_[u];
   }
   return t;
 }
@@ -83,7 +94,7 @@ bool Topology::IsAncestorOf(int maybe_anc, int node) const {
 
 std::vector<int> Topology::PathEdges(int node) const {
   std::vector<int> edges;
-  for (int u = node; u != 0; u = parents_[u]) edges.push_back(u);
+  for (int u = node; u != root_; u = parents_[u]) edges.push_back(u);
   return edges;
 }
 

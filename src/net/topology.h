@@ -22,25 +22,30 @@ inline double Distance(const Point& a, const Point& b) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
-/// A sensor network organized as a spanning tree rooted at node 0 (the
-/// query station / base station), following Section 2 of the paper.
+/// A sensor network organized as a spanning tree rooted at the query
+/// station / base station, following Section 2 of the paper.
 ///
 /// Node ids are dense ints [0, n). Every non-root node i owns exactly one
 /// tree edge: the communication link to parent(i). Throughout the library
 /// an "edge id" therefore IS the child node id.
 ///
+/// The root is the unique node with parent kNoParent. The builders in this
+/// file all place it at node 0, but nothing may assume that: code must
+/// compare against root() by id, never against 0.
+///
 /// The structure is immutable once built; topology changes (Section 4.4)
 /// are modeled by building a new Topology excluding failed nodes.
 class Topology {
  public:
-  /// Builds from a parent vector (parents[0] must be kNoParent; node 0 is
-  /// the root). Fails if the vector does not describe a tree on all nodes.
+  /// Builds from a parent vector. Exactly one entry must be kNoParent
+  /// (that node is the root — not necessarily node 0). Fails if the
+  /// vector does not describe a tree on all nodes.
   static Result<Topology> FromParents(std::vector<int> parents);
 
   static constexpr int kNoParent = -1;
 
   int num_nodes() const { return static_cast<int>(parents_.size()); }
-  int root() const { return 0; }
+  int root() const { return root_; }
 
   int parent(int node) const { return parents_[node]; }
   const std::vector<int>& children(int node) const { return children_[node]; }
@@ -84,6 +89,7 @@ class Topology {
   std::vector<int> post_order_;
   std::vector<int> pre_order_;
   std::vector<Point> positions_;
+  int root_ = 0;
   int height_ = 0;
 };
 

@@ -37,7 +37,12 @@ SampleSet SampleSet::ForQuantile(int num_nodes, double quantile,
   return SampleSet(
       num_nodes,
       [quantile](const std::vector<double>& values) {
-        // Index whose value is the q-quantile (nearest-rank).
+        // Index whose value is the q-quantile (nearest-rank). Out-of-range
+        // q clamps to [0, 1]: a negative q would wrap through size_t and
+        // silently select the maximum.
+        double q = quantile;
+        if (!(q > 0.0)) q = 0.0;  // also maps NaN to the minimum
+        if (q > 1.0) q = 1.0;
         std::vector<int> order(values.size());
         for (size_t i = 0; i < values.size(); ++i) order[i] = static_cast<int>(i);
         std::sort(order.begin(), order.end(), [&](int a, int b) {
@@ -45,7 +50,7 @@ SampleSet SampleSet::ForQuantile(int num_nodes, double quantile,
           return a < b;
         });
         const size_t rank = static_cast<size_t>(
-            quantile * static_cast<double>(values.size() - 1) + 0.5);
+            q * static_cast<double>(values.size() - 1) + 0.5);
         return std::vector<int>{order[std::min(rank, values.size() - 1)]};
       },
       window);

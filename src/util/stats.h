@@ -55,9 +55,13 @@ inline std::vector<int> TopKIndices(const std::vector<double>& values, int k) {
   return idx;
 }
 
-/// Exact quantile of a copy of `values` (linear interpolation, q in [0,1]).
+/// Exact quantile of a copy of `values` (linear interpolation). `q` is
+/// clamped to [0, 1]; NaN is treated as 0. Without the clamp, a negative
+/// `q` would cast to a huge size_t index and read out of bounds.
 inline double Quantile(std::vector<double> values, double q) {
   if (values.empty()) return 0.0;
+  if (!(q > 0.0)) q = 0.0;  // also maps NaN to the minimum
+  if (q > 1.0) q = 1.0;
   std::sort(values.begin(), values.end());
   const double pos = q * static_cast<double>(values.size() - 1);
   const size_t lo = static_cast<size_t>(pos);

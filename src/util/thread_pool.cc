@@ -1,0 +1,95 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace prospector {
+namespace util {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(num_threads, 1)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  // The calling thread always executes one range itself, so a pool of T
+  // threads needs T-1 workers.
+  for (int t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    (*task.body)(task.begin, task.end);
+    {
+      std::lock_guard<std::mutex> lock(*task.done_mutex);
+      --*task.outstanding;
+    }
+    task.done_cv->notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int, int)>& body) {
+  if (n <= 0) return;
+  if (!ShouldParallelize(n)) {
+    body(0, n);
+    return;
+  }
+
+  // Contiguous static split; the partition depends only on n and the pool
+  // size, never on runtime timing.
+  const int parts = std::min(num_threads_, n);
+  const int base = n / parts;
+  const int extra = n % parts;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  int outstanding = parts - 1;  // the caller runs part 0
+
+  int begin = base + (0 < extra ? 1 : 0);  // end of part 0
+  const int first_end = begin;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int p = 1; p < parts; ++p) {
+      const int len = base + (p < extra ? 1 : 0);
+      queue_.push_back(
+          Task{&body, begin, begin + len, &done_mutex, &done_cv, &outstanding});
+      begin += len;
+    }
+  }
+  work_cv_.notify_all();
+
+  body(0, first_end);
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&outstanding] { return outstanding == 0; });
+}
+
+}  // namespace util
+}  // namespace prospector

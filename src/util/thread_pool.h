@@ -1,0 +1,109 @@
+#ifndef PROSPECTOR_UTIL_THREAD_POOL_H_
+#define PROSPECTOR_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prospector {
+namespace util {
+
+/// A fixed-size worker pool for data-parallel loops over index ranges.
+///
+/// Design goals, in order:
+///   1. *Determinism.* ParallelReduce combines per-index results in index
+///      order, so the outcome is bit-identical to the sequential loop for
+///      any thread count — including non-associative combiners such as
+///      floating-point addition. Parallelism changes wall time, never
+///      results.
+///   2. *Graceful degradation.* A pool built with `num_threads <= 1` spawns
+///      no workers and runs every loop inline, exactly preserving the
+///      single-threaded code path. Calls made from inside a worker (nested
+///      parallelism) also run inline, so composing parallel stages cannot
+///      deadlock the pool.
+///   3. *Reuse.* Workers are spawned once and parked on a condition
+///      variable between loops; dispatch costs one lock + notify, so the
+///      pool is cheap enough to use for per-plan scoring loops.
+class ThreadPool {
+ public:
+  /// `num_threads <= 1` creates an inline (no worker) pool; `num_threads
+  /// == 0` is clamped to 1 rather than auto-detecting, so callers must opt
+  /// in to parallelism explicitly.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// A sensible thread count for throughput-oriented callers (benches):
+  /// the hardware concurrency, at least 1.
+  static int HardwareThreads();
+
+  /// True when the calling thread is one of this process's pool workers
+  /// (any pool); used to run nested parallel loops inline.
+  static bool InWorkerThread();
+
+  /// Invokes `body(begin, end)` over disjoint sub-ranges covering [0, n)
+  /// and blocks until all sub-ranges finished. Ranges are contiguous and
+  /// ascending; the caller's thread executes the first range itself. The
+  /// body must only write to per-index slots (no unsynchronized shared
+  /// state).
+  void ParallelFor(int n, const std::function<void(int, int)>& body);
+
+  /// Deterministic map/reduce: conceptually
+  ///   acc = init; for (i = 0; i < n; ++i) acc = combine(acc, map(i));
+  /// `map(i)` runs in parallel; `combine` runs sequentially on the calling
+  /// thread in ascending index order, making the result bit-identical to
+  /// the sequential loop regardless of thread count.
+  template <typename T, typename MapFn, typename CombineFn>
+  T ParallelReduce(int n, T init, const MapFn& map, const CombineFn& combine) {
+    if (n <= 0) return init;
+    if (!ShouldParallelize(n)) {
+      T acc = std::move(init);
+      for (int i = 0; i < n; ++i) acc = combine(std::move(acc), map(i));
+      return acc;
+    }
+    std::vector<T> partial(static_cast<size_t>(n));
+    ParallelFor(n, [&](int begin, int end) {
+      for (int i = begin; i < end; ++i) partial[static_cast<size_t>(i)] = map(i);
+    });
+    T acc = std::move(init);
+    for (int i = 0; i < n; ++i) {
+      acc = combine(std::move(acc), std::move(partial[static_cast<size_t>(i)]));
+    }
+    return acc;
+  }
+
+ private:
+  struct Task {
+    std::function<void(int, int)> const* body = nullptr;
+    int begin = 0;
+    int end = 0;
+    std::mutex* done_mutex = nullptr;
+    std::condition_variable* done_cv = nullptr;
+    int* outstanding = nullptr;
+  };
+
+  bool ShouldParallelize(int n) const {
+    return num_threads_ > 1 && n > 1 && !InWorkerThread();
+  }
+
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace util
+}  // namespace prospector
+
+#endif  // PROSPECTOR_UTIL_THREAD_POOL_H_

@@ -49,6 +49,27 @@ TEST(CollectionExecutorTest, ZeroBandwidthSendsNothing) {
   EXPECT_EQ(r.answer[0].node, 0);
 }
 
+TEST(CollectionExecutorTest, InconsistentPlanChargesNothingBelowDeadEdge) {
+  // Chain 0<-1<-2 where node 2 is granted bandwidth beneath parent edge 1
+  // that carries nothing (an un-normalized, inconsistent plan). The
+  // executor must clamp node 2's effective bandwidth to zero rather than
+  // charge it acquisition + Unicast energy for a reading node 1 drops.
+  net::Topology topo = net::BuildChain(3);
+  net::EnergyModel energy;
+  energy.acquisition_mj = 0.5;
+  net::NetworkSimulator sim(&topo, energy);
+  QueryPlan p = QueryPlan::Bandwidth(2, {0, 0, 1});  // deliberately not
+                                                     // Normalize()d
+  const std::vector<double> truth{1, 2, 3};
+  ExecutionResult r = CollectionExecutor::Execute(p, truth, &sim,
+                                                  /*include_trigger=*/false);
+  EXPECT_EQ(sim.stats().unicast_messages, 0);
+  EXPECT_EQ(sim.stats().acquisitions, 0);
+  EXPECT_DOUBLE_EQ(r.collection_energy_mj, 0.0);
+  ASSERT_EQ(r.arrived.size(), 1u);  // only the root's own reading
+  EXPECT_EQ(r.arrived[0].node, 0);
+}
+
 TEST(CollectionExecutorTest, NodeSelectionForwardsWithoutFiltering) {
   // Root with child 1, grandchildren 2,3. Choose 2 and 3 only.
   auto topo = net::Topology::FromParents({-1, 0, 1, 1}).value();

@@ -1,0 +1,192 @@
+// Determinism contract of the parallel planning engine: any thread count
+// must produce bit-identical plans, objectives, and evaluations to the
+// single-threaded seed path — parallelism buys wall time, never different
+// answers. Plus the regression test for the old root-index assumption in
+// SampleHits (node 0 silently skipped when the root is not node 0).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/greedy_planner.h"
+#include "src/core/lp_filter_planner.h"
+#include "src/core/lp_no_filter_planner.h"
+#include "src/core/plan_eval.h"
+#include "src/core/plan_manager.h"
+#include "src/data/gaussian_field.h"
+#include "src/net/topology.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace prospector {
+namespace core {
+namespace {
+
+struct Instance {
+  net::Topology topology;
+  sampling::SampleSet samples;
+  PlannerContext ctx;
+};
+
+Instance MakeInstance(int n, int k, int num_samples, uint64_t seed) {
+  Rng rng(seed);
+  net::GeometricNetworkOptions geo;
+  geo.num_nodes = n;
+  geo.radio_range = 25.0;
+  Instance inst{net::BuildConnectedGeometricNetwork(geo, &rng).value(),
+                sampling::SampleSet::ForTopK(n, k), PlannerContext{}};
+  data::GaussianField field =
+      data::GaussianField::Random(n, 40, 60, 1, 16, &rng);
+  for (int s = 0; s < num_samples; ++s) inst.samples.Add(field.Sample(&rng));
+  inst.ctx.topology = &inst.topology;
+  return inst;
+}
+
+void ExpectSamePlan(const QueryPlan& a, const QueryPlan& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.bandwidth, b.bandwidth);
+  EXPECT_EQ(a.chosen, b.chosen);
+}
+
+TEST(ParallelPlanningTest, SampleHitsIdenticalForAnyThreadCount) {
+  Instance inst = MakeInstance(60, 8, 20, 41);
+  LpFilterPlanner planner;
+  auto plan = planner.Plan(inst.ctx, inst.samples, PlanRequest{8, 10.0});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  const int serial = SampleHits(*plan, inst.topology, inst.samples);
+  for (int threads : {2, 3, 4, 8}) {
+    util::ThreadPool pool(threads);
+    EXPECT_EQ(SampleHits(*plan, inst.topology, inst.samples, &pool), serial)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelPlanningTest, GreedyPlansBitIdenticalAcrossThreadCounts) {
+  Instance inst = MakeInstance(60, 8, 15, 42);
+  for (double budget : {2.0, 6.0, 14.0}) {
+    GreedyPlanner serial;
+    GreedyPlanner parallel(GreedyPlannerOptions{/*threads=*/4});
+    auto a = serial.Plan(inst.ctx, inst.samples, PlanRequest{8, budget});
+    auto b = parallel.Plan(inst.ctx, inst.samples, PlanRequest{8, budget});
+    ASSERT_TRUE(a.ok() && b.ok());
+    ExpectSamePlan(*a, *b);
+  }
+}
+
+TEST(ParallelPlanningTest, LpNoFilterPlansBitIdenticalAcrossThreadCounts) {
+  Instance inst = MakeInstance(50, 8, 12, 43);
+  for (double budget : {4.0, 8.0, 16.0}) {
+    LpNoFilterPlanner serial;
+    LpPlannerOptions opts;
+    opts.threads = 4;
+    LpNoFilterPlanner parallel(opts);
+    auto a = serial.Plan(inst.ctx, inst.samples, PlanRequest{8, budget});
+    auto b = parallel.Plan(inst.ctx, inst.samples, PlanRequest{8, budget});
+    ASSERT_TRUE(a.ok() && b.ok());
+    ExpectSamePlan(*a, *b);
+    // Objective values must match to the last bit, not just approximately.
+    EXPECT_EQ(serial.last_lp_objective(), parallel.last_lp_objective());
+  }
+}
+
+TEST(ParallelPlanningTest, LpFilterPlansBitIdenticalAcrossThreadCounts) {
+  Instance inst = MakeInstance(50, 8, 12, 44);
+  for (double budget : {4.0, 8.0, 16.0}) {
+    LpFilterPlanner serial;
+    LpPlannerOptions opts;
+    opts.threads = 4;
+    LpFilterPlanner parallel(opts);
+    auto a = serial.Plan(inst.ctx, inst.samples, PlanRequest{8, budget});
+    auto b = parallel.Plan(inst.ctx, inst.samples, PlanRequest{8, budget});
+    ASSERT_TRUE(a.ok() && b.ok());
+    ExpectSamePlan(*a, *b);
+    EXPECT_EQ(serial.last_lp_objective(), parallel.last_lp_objective());
+  }
+}
+
+TEST(ParallelPlanningTest, PlanSweepMatchesSerialSweepInOrder) {
+  Instance inst = MakeInstance(50, 8, 12, 45);
+  std::vector<PlanRequest> requests;
+  for (double budget : {2.0, 4.0, 6.0, 8.0, 12.0, 16.0}) {
+    requests.push_back(PlanRequest{8, budget});
+  }
+  // Also sweep k at a fixed budget — a second independent dimension.
+  for (int k : {2, 5, 12}) requests.push_back(PlanRequest{k, 10.0});
+
+  PlannerFactory factory = [] { return std::make_unique<LpNoFilterPlanner>(); };
+  const auto serial = PlanSweep(factory, inst.ctx, inst.samples, requests);
+  util::ThreadPool pool(4);
+  const auto parallel =
+      PlanSweep(factory, inst.ctx, inst.samples, requests, &pool);
+
+  ASSERT_EQ(serial.size(), requests.size());
+  ASSERT_EQ(parallel.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << serial[i].status().ToString();
+    ASSERT_TRUE(parallel[i].ok()) << parallel[i].status().ToString();
+    ExpectSamePlan(*serial[i], *parallel[i]);
+  }
+}
+
+TEST(ParallelPlanningTest, PlanManagerDecisionsUnchangedByPool) {
+  Instance inst = MakeInstance(40, 6, 10, 46);
+  net::NetworkSimulator sim_a(&inst.topology, inst.ctx.energy);
+  net::NetworkSimulator sim_b(&inst.topology, inst.ctx.energy);
+  util::ThreadPool pool(4);
+
+  GreedyPlanner planner_a, planner_b;
+  PlanManagerOptions with_pool;
+  with_pool.pool = &pool;
+  PlanManager serial(&planner_a, PlanRequest{6, 8.0});
+  PlanManager parallel(&planner_b, PlanRequest{6, 8.0}, with_pool);
+
+  auto a = serial.MaybeReplan(inst.ctx, inst.samples, &sim_a);
+  auto b = parallel.MaybeReplan(inst.ctx, inst.samples, &sim_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  ASSERT_TRUE(serial.has_plan() && parallel.has_plan());
+  ExpectSamePlan(serial.plan(), parallel.plan());
+}
+
+// ---- Regression: the root must be skipped by id, not by assuming id 0 ----
+
+TEST(SampleHitsTest, NodeSelectionCountsNodeZeroWhenRootIsElsewhere) {
+  // Chain 0 -> 1 -> 2 rooted at node 2. Node 0 holds the top value and is
+  // chosen; the old `for (i = 1; ...)` loop silently skipped it.
+  auto topo = net::Topology::FromParents({1, 2, net::Topology::kNoParent});
+  ASSERT_TRUE(topo.ok());
+
+  sampling::SampleSet samples = sampling::SampleSet::ForTopK(3, 1);
+  samples.Add({10.0, 1.0, 0.0});  // top-1 is node 0
+
+  QueryPlan plan;
+  plan.kind = PlanKind::kNodeSelection;
+  plan.k = 1;
+  plan.chosen = {1, 0, 0};
+  plan.bandwidth = {1, 1, 0};  // node 0's value crosses edges 0 and 1
+
+  EXPECT_EQ(SampleHits(plan, *topo, samples), 1);
+}
+
+TEST(SampleHitsTest, BandwidthPlanDeliversHitsWhenRootIsElsewhere) {
+  auto topo = net::Topology::FromParents({1, 2, net::Topology::kNoParent});
+  ASSERT_TRUE(topo.ok());
+
+  sampling::SampleSet samples = sampling::SampleSet::ForTopK(3, 2);
+  samples.Add({10.0, 1.0, 7.0});  // top-2: nodes 0 and 2 (the root)
+
+  QueryPlan plan;
+  plan.kind = PlanKind::kBandwidth;
+  plan.k = 2;
+  plan.bandwidth = {1, 1, 0};
+  // Node 0's contribution flows across both edges; the root's own value is
+  // free: 2 hits total.
+  EXPECT_EQ(SampleHits(plan, *topo, samples), 2);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace prospector

@@ -76,13 +76,38 @@ TEST(TopologyTest, PreOrderVisitsParentsFirst) {
 
 TEST(TopologyTest, RejectsMalformedInput) {
   EXPECT_FALSE(Topology::FromParents({}).ok());
-  EXPECT_FALSE(Topology::FromParents({0}).ok());  // root must have -1
+  EXPECT_FALSE(Topology::FromParents({0}).ok());  // self loop, no root
   EXPECT_FALSE(
       Topology::FromParents({Topology::kNoParent, 5}).ok());  // out of range
   EXPECT_FALSE(
       Topology::FromParents({Topology::kNoParent, 1}).ok());  // self loop
   // 2-cycle between 1 and 2 (both unreachable from root).
   EXPECT_FALSE(Topology::FromParents({Topology::kNoParent, 2, 1}).ok());
+  // Two roots.
+  EXPECT_FALSE(
+      Topology::FromParents({Topology::kNoParent, Topology::kNoParent}).ok());
+}
+
+TEST(TopologyTest, SupportsNonZeroRoot) {
+  // Chain 0 -> 1 -> 2 where node 2 is the root: the base station need not
+  // be node 0 (e.g. after renumbering survivors of a rebuild).
+  auto res = Topology::FromParents({1, 2, Topology::kNoParent});
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  const Topology& t = res.value();
+  EXPECT_EQ(t.root(), 2);
+  EXPECT_EQ(t.depth(2), 0);
+  EXPECT_EQ(t.depth(0), 2);
+  EXPECT_EQ(t.height(), 2);
+  EXPECT_EQ(t.subtree_size(2), 3);
+  EXPECT_EQ(t.subtree_size(0), 1);
+  // Edge ids on node 0's path exclude the root, which owns no edge.
+  EXPECT_EQ(t.PathEdges(0), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(t.PathEdges(2).empty());
+  EXPECT_EQ(t.AncestorsOf(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(t.IsAncestorOf(2, 0));
+  // Traversals start/end at the actual root.
+  EXPECT_EQ(t.PreOrder().front(), 2);
+  EXPECT_EQ(t.PostOrder().back(), 2);
 }
 
 TEST(TopologyTest, ChainAndStar) {

@@ -53,6 +53,16 @@ TEST(SampleSetTest, QuantileContributor) {
   EXPECT_EQ(s.ones(0), (std::vector<int>{1}));
 }
 
+TEST(SampleSetTest, OutOfRangeQuantileClampsToEndpoints) {
+  // A negative q used to wrap through size_t and pick the maximum.
+  SampleSet lo = SampleSet::ForQuantile(5, -0.5);
+  lo.Add({10, 30, 20, 50, 40});
+  EXPECT_EQ(lo.ones(0), (std::vector<int>{0}));  // minimum -> node 0
+  SampleSet hi = SampleSet::ForQuantile(5, 1.75);
+  hi.Add({10, 30, 20, 50, 40});
+  EXPECT_EQ(hi.ones(0), (std::vector<int>{3}));  // maximum -> node 3
+}
+
 TEST(SampleSetTest, IsSmallerUsesSampleValues) {
   SampleSet s = SampleSet::ForTopK(3, 1);
   s.Add({5, 3, 8});

@@ -168,5 +168,16 @@ TEST(QuantileTest, Interpolation) {
   EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
 }
 
+TEST(QuantileTest, OutOfRangeQuantileClampsInsteadOfReadingOutOfBounds) {
+  // q < 0 used to cast to a huge size_t index; it must clamp to the
+  // minimum, and q > 1 to the maximum.
+  EXPECT_DOUBLE_EQ(Quantile({3, 1, 2}, -0.1), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({3, 1, 2}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({3, 1, 2}, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile({3, 1, 2}, 1.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile({3, 1, 2}, -1e300), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile({5, 5}, std::nan("")), 5.0);
+}
+
 }  // namespace
 }  // namespace prospector

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace prospector {
+namespace util {
+namespace {
+
+TEST(ThreadPoolTest, InlinePoolRunsWholeRangeOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> calls;
+  pool.ParallelFor(5, [&](int begin, int end) {
+    calls.push_back(begin);
+    calls.push_back(end);
+  });
+  // A single body invocation covering [0, 5): no worker threads involved.
+  EXPECT_EQ(calls, (std::vector<int>{0, 5}));
+}
+
+TEST(ThreadPoolTest, NonPositiveThreadCountClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const int n = 1000;
+  std::vector<std::atomic<int>> touched(n);
+  pool.ParallelFor(n, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(3);
+  pool.ParallelFor(3, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(touched[i].load(), 1);
+  pool.ParallelFor(0, [&](int, int) { FAIL() << "empty range must not run"; });
+}
+
+TEST(ThreadPoolTest, ParallelReduceMatchesSequentialSum) {
+  ThreadPool pool(4);
+  const int n = 257;  // not a multiple of the thread count
+  const int64_t got = pool.ParallelReduce<int64_t>(
+      n, 0, [](int i) { return static_cast<int64_t>(i) * i; },
+      [](int64_t acc, int64_t v) { return acc + v; });
+  int64_t want = 0;
+  for (int i = 0; i < n; ++i) want += static_cast<int64_t>(i) * i;
+  EXPECT_EQ(got, want);
+}
+
+TEST(ThreadPoolTest, FloatingPointReduceIsBitIdenticalAcrossThreadCounts) {
+  // Non-associative combiner: naive double summation of values at wildly
+  // different magnitudes. Index-ordered combining must make every thread
+  // count produce the exact same bits.
+  const int n = 10000;
+  std::vector<double> values(n);
+  for (int i = 0; i < n; ++i) {
+    values[i] = (i % 7 == 0 ? 1e16 : 1.0) / (1.0 + i);
+  }
+  auto sum_with = [&](int threads) {
+    ThreadPool pool(threads);
+    return pool.ParallelReduce<double>(
+        n, 0.0, [&](int i) { return values[i]; },
+        [](double acc, double v) { return acc + v; });
+  };
+  const double serial = sum_with(1);
+  EXPECT_EQ(serial, sum_with(2));
+  EXPECT_EQ(serial, sum_with(4));
+  EXPECT_EQ(serial, sum_with(7));
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      // A nested loop on the same pool must not wait on pool workers.
+      pool.ParallelFor(4, [&](int b2, int e2) { total.fetch_add(e2 - b2); });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 4);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyDispatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    const int got = pool.ParallelReduce<int>(
+        100, 0, [](int) { return 1; }, [](int acc, int v) { return acc + v; });
+    ASSERT_EQ(got, 100);
+  }
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace prospector
