@@ -33,6 +33,13 @@ void Run() {
   bench::PrintHeader("failure-aware vs failure-blind planning",
                      {"fail_prob", "aware_mJ", "aware_pct", "blind_mJ",
                       "blind_pct"});
+  bench::BenchJson json("failures");
+  json.Meta("nodes", kNodes)
+      .Meta("k", kTop)
+      .Meta("budget_mj", kBudgetMj)
+      .Meta("epochs", kQueryEpochs)
+      .Columns({"fail_prob", "aware_energy_mj", "aware_recall",
+                "blind_energy_mj", "blind_recall"});
 
   for (double p : {0.0, 0.1, 0.2, 0.35, 0.5}) {
     net::FailureModel failures;
@@ -63,10 +70,13 @@ void Run() {
         failures);
     bench::PrintRow({p, aware.avg_energy_mj, 100.0 * aware.avg_accuracy,
                      blind.avg_energy_mj, 100.0 * blind.avg_accuracy});
+    json.Row({p, aware.avg_energy_mj, aware.avg_accuracy,
+              blind.avg_energy_mj, blind.avg_accuracy});
   }
   std::printf("\n(The blind plan's realized energy overshoots the budget as "
               "failures rise;\nthe aware plan trades a little accuracy to "
               "stay within it.)\n");
+  json.Write();
 }
 
 }  // namespace

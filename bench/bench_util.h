@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/executor.h"
@@ -73,6 +74,65 @@ inline bool PlanAndEvaluate(core::Planner* planner,
                       ctx.failures);
   return true;
 }
+
+/// Machine-readable companion to the stdout tables: collects a flat meta
+/// object plus uniform numeric rows and writes BENCH_<name>.json in the
+/// working directory, mirroring bench_parallel_scaling's artifact so CI
+/// and plotting scripts can diff runs without scraping text.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson& Meta(const std::string& key, double value) {
+    meta_.emplace_back(key, value);
+    return *this;
+  }
+  BenchJson& Columns(std::vector<std::string> columns) {
+    columns_ = std::move(columns);
+    return *this;
+  }
+  BenchJson& Row(std::vector<double> values) {
+    rows_.push_back(std::move(values));
+    return *this;
+  }
+
+  /// Returns false (with a note on stderr) when the file cannot be written.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"meta\": {");
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
+                   meta_[i].first.c_str(), meta_[i].second);
+    }
+    std::fprintf(f, "},\n  \"columns\": [");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ", columns_[i].c_str());
+    }
+    std::fprintf(f, "],\n  \"rows\": [\n");
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "    [");
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        std::fprintf(f, "%s%.6g", i == 0 ? "" : ", ", rows_[r][i]);
+      }
+      std::fprintf(f, "]%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> meta_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
 
 /// Fixed-width table printing helpers shared by the figure benches.
 inline void PrintHeader(const std::string& title,

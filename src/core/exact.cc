@@ -21,6 +21,10 @@ Result<ExactResult> RunProspectorExact(const PlannerContext& ctx,
   ExecutionResult phase1 = executor.ExecutePhase1(truth);
   result.phase1_energy_mj = phase1.total_energy_mj();
   result.phase1_proven = phase1.proven_count;
+  result.degraded = phase1.degraded;
+  result.values_lost = phase1.values_lost;
+  result.edge_expected = phase1.edge_expected;
+  result.edge_delivered = phase1.edge_delivered;
 
   if (phase1.proven_count >= std::min<int>(k, ctx.topology->num_nodes())) {
     result.answer = phase1.answer;
@@ -30,6 +34,8 @@ Result<ExactResult> RunProspectorExact(const PlannerContext& ctx,
   ExecutionResult phase2 = executor.ExecuteMopUp();
   result.phase2_energy_mj = phase2.total_energy_mj();
   result.answer = phase2.answer;
+  result.degraded = result.degraded || phase2.degraded;
+  result.values_lost += phase2.values_lost;
   return result;
 }
 

@@ -11,13 +11,24 @@ namespace core {
 
 /// Outcome of a PROSPECTOR Exact run.
 struct ExactResult {
-  /// Exact top-k, best-first (guaranteed regardless of sample accuracy).
+  /// Top-k, best-first. Exact (guaranteed regardless of sample accuracy)
+  /// unless `degraded` is set; then it is best-effort over what survived
+  /// and `phase1_proven` is the only certified prefix.
   std::vector<Reading> answer;
   /// How many of the answer entries phase 1 already proved.
   int phase1_proven = 0;
   bool needed_phase2 = false;
   double phase1_energy_mj = 0.0;
   double phase2_energy_mj = 0.0;
+
+  /// Loss accounting under fault injection / lossy transport. The edge
+  /// vectors come from phase 1 (where every node is expected to report),
+  /// so a Session audit can feed them to its watchdog; `degraded` and
+  /// `values_lost` cover both phases.
+  bool degraded = false;
+  int values_lost = 0;
+  std::vector<char> edge_expected;
+  std::vector<char> edge_delivered;
 
   double total_energy_mj() const {
     return phase1_energy_mj + phase2_energy_mj;

@@ -10,6 +10,7 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
                                             net::NetworkSimulator* sim,
                                             bool include_trigger) {
   const net::Topology& topo = sim->topology();
+  const int n = topo.num_nodes();
 
   // Clamp effective bandwidth by the path to the root before spending any
   // energy: in an inconsistent plan (child bandwidth > 0 beneath an edge
@@ -21,16 +22,33 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
   const QueryPlan& p = normalized;
 
   ExecutionResult result;
+  result.edge_expected.assign(n, 0);
+  result.edge_delivered.assign(n, 0);
   if (include_trigger) {
     result.trigger_energy_mj = ChargeTriggerCost(p, sim);
   }
 
+  std::vector<char> attempted(n, 0);
   std::vector<std::vector<Reading>> inbox(topo.num_nodes());
   double collection = 0.0;
   for (int u : topo.PostOrder()) {
     if (u == topo.root()) continue;
+    // "Expected" is what the watchdog may hold the node to: traffic the
+    // plan says must *originate* at u. A pure relay (node-selection mode,
+    // not chosen) whose chosen descendants went dark legitimately sends
+    // nothing, so only its actual attempts count as evidence.
+    const bool originates =
+        p.kind == PlanKind::kBandwidth ? p.bandwidth[u] > 0 : p.chosen[u];
     std::vector<Reading>& mine = inbox[u];
     std::vector<Reading> outgoing;
+    if (!sim->node_alive(u)) {
+      // A dead node acquires nothing and forwards nothing; whatever its
+      // children delivered to it is lost with it.
+      result.edge_expected[u] = originates || !mine.empty();
+      result.values_lost += static_cast<int>(mine.size());
+      if (!mine.empty()) result.degraded = true;
+      continue;
+    }
     if (p.kind == PlanKind::kBandwidth) {
       if (p.bandwidth[u] <= 0) continue;
       // Local filtering: own reading plus children's lists, keep top-b.
@@ -47,14 +65,37 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
         collection += sim->ChargeAcquisition(u);
         mine.push_back({u, truth[u]});
       }
-      if (mine.empty()) continue;
+      if (mine.empty()) {
+        result.edge_expected[u] = originates;
+        continue;
+      }
       outgoing = std::move(mine);
     }
-    collection += sim->Unicast(u, static_cast<int>(outgoing.size()));
-    std::vector<Reading>& up = inbox[topo.parent(u)];
-    up.insert(up.end(), outgoing.begin(), outgoing.end());
+    attempted[u] = 1;
+    result.edge_expected[u] = 1;
+    const net::DeliveryResult sent =
+        sim->TryUnicast(u, static_cast<int>(outgoing.size()));
+    collection += sent.energy_mj;
+    if (sent.delivered) {
+      result.edge_delivered[u] = 1;
+      std::vector<Reading>& up = inbox[topo.parent(u)];
+      up.insert(up.end(), outgoing.begin(), outgoing.end());
+    } else {
+      ++result.messages_dropped;
+      result.values_lost += static_cast<int>(outgoing.size());
+      result.degraded = true;
+    }
   }
   result.collection_energy_mj = collection;
+
+  // A subtree is live when no expected edge on its root path went dark.
+  result.subtree_live.assign(n, 1);
+  for (int u : topo.PreOrder()) {
+    if (u == topo.root()) continue;
+    const bool broken = result.edge_expected[u] && !result.edge_delivered[u];
+    result.subtree_live[u] =
+        !broken && result.subtree_live[topo.parent(u)] ? 1 : 0;
+  }
 
   result.arrived = std::move(inbox[topo.root()]);
   result.arrived.push_back({topo.root(), truth[topo.root()]});

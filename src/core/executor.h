@@ -11,6 +11,13 @@ namespace prospector {
 namespace core {
 
 /// Outcome of executing a plan against one epoch of true readings.
+///
+/// Under fault injection or lossy transport the result is *partial* and
+/// says so: `degraded` flags any loss, `values_lost`/`messages_dropped`
+/// quantify it, and the per-node liveness vectors say which subtrees went
+/// dark — the observations the Session watchdog feeds on. A loss-free run
+/// leaves `degraded` false and every delivered flag equal to its expected
+/// flag.
 struct ExecutionResult {
   /// What the query returns: the best min(k, arrived) readings at the
   /// root, best-first.
@@ -22,6 +29,21 @@ struct ExecutionResult {
   int proven_count = 0;
   double trigger_energy_mj = 0.0;
   double collection_energy_mj = 0.0;
+
+  /// --- degradation accounting (zero/empty when nothing was lost) ---
+  /// Readings that were acquired (or received) but never reached the next
+  /// hop because their message dropped or their holder died.
+  int values_lost = 0;
+  int messages_dropped = 0;
+  bool degraded = false;
+  /// Per node u != root: the plan called for traffic originating at u
+  /// (or u actually transmitted).
+  std::vector<char> edge_expected;
+  /// Per node u != root: u's message arrived at its parent this epoch.
+  std::vector<char> edge_delivered;
+  /// Per node: every expected edge on u's path to the root delivered —
+  /// i.e. u's subtree had a working channel to the base station.
+  std::vector<char> subtree_live;
 
   double total_energy_mj() const {
     return trigger_energy_mj + collection_energy_mj;
@@ -36,6 +58,9 @@ class CollectionExecutor {
   /// current reading of every node. The plan is defensively Normalize()d
   /// first (a no-op for planner output), so an inconsistent hand-built
   /// plan cannot charge children for readings an ancestor edge drops.
+  /// Dead nodes (per the simulator's fault injector) acquire nothing and
+  /// send nothing; messages across dead or partitioned edges drop after
+  /// the transport's retry budget.
   static ExecutionResult Execute(const QueryPlan& plan,
                                  const std::vector<double>& truth,
                                  net::NetworkSimulator* sim,

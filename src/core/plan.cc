@@ -128,6 +128,7 @@ double ChargeTriggerCost(const QueryPlan& plan, net::NetworkSimulator* sim) {
   const net::Topology& topo = sim->topology();
   double spent = 0.0;
   for (int u : topo.PreOrder()) {
+    if (!sim->node_alive(u)) continue;  // a dead node triggers nobody
     for (int c : topo.children(u)) {
       if (plan.UsesEdge(c)) {
         spent += sim->Broadcast(u);

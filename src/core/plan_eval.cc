@@ -44,6 +44,31 @@ int SampleHits(const QueryPlan& plan, const net::Topology& topology,
   return total;
 }
 
+AccuracyMetrics TopKAccuracy(const ExecutionResult& result,
+                             const std::vector<double>& truth, int k) {
+  AccuracyMetrics out;
+  out.answered = static_cast<int>(result.answer.size());
+  if (k <= 0) {
+    out.recall = 1.0;
+    return out;
+  }
+  std::vector<char> in_truth(truth.size(), 0);
+  for (const Reading& r : TrueTopK(truth, k)) in_truth[r.node] = 1;
+  int hit = 0;
+  for (const Reading& r : result.answer) {
+    if (r.node >= 0 && r.node < static_cast<int>(truth.size()) &&
+        in_truth[r.node]) {
+      ++hit;
+    }
+  }
+  out.recall = static_cast<double>(hit) /
+               static_cast<double>(std::min<size_t>(k, truth.size()));
+  if (out.answered > 0) {
+    out.precision = static_cast<double>(hit) / static_cast<double>(out.answered);
+  }
+  return out;
+}
+
 std::vector<std::vector<int>> ComputePathCache(const net::Topology& topology,
                                                util::ThreadPool* pool) {
   const int n = topology.num_nodes();

@@ -1,6 +1,7 @@
 #ifndef PROSPECTOR_CORE_PLAN_EVAL_H_
 #define PROSPECTOR_CORE_PLAN_EVAL_H_
 
+#include "src/core/executor.h"
 #include "src/core/plan.h"
 #include "src/net/topology.h"
 #include "src/sampling/sample_set.h"
@@ -40,6 +41,24 @@ int SampleHitsForSample(const QueryPlan& plan, const net::Topology& topology,
 /// when one is supplied.
 std::vector<std::vector<int>> ComputePathCache(const net::Topology& topology,
                                                util::ThreadPool* pool = nullptr);
+
+/// Answer quality of one (possibly partial) execution against the ground
+/// truth. Recall alone hides degradation when loss shrinks the answer;
+/// together with precision it tells partial-but-right apart from wrong.
+struct AccuracyMetrics {
+  /// |answer ∩ true top-k| / k — the paper's Section 5 metric.
+  double recall = 0.0;
+  /// |answer ∩ true top-k| / |answer|; an empty answer claims nothing and
+  /// scores 1.0 (vacuously precise, recall 0 tells the story).
+  double precision = 1.0;
+  int answered = 0;  ///< |answer|
+};
+
+/// Scores `result.answer` against the true top-k of `truth`. Under lossy
+/// transport the executor may return fewer than k readings or readings
+/// displaced by lost subtrees; both surface here.
+AccuracyMetrics TopKAccuracy(const ExecutionResult& result,
+                             const std::vector<double>& truth, int k);
 
 }  // namespace core
 }  // namespace prospector

@@ -76,6 +76,11 @@ class PlanManager {
     return true;
   }
 
+  /// Drops the installed plan without touching the network — used when the
+  /// topology it indexes no longer exists (self-healing rebuild). The next
+  /// MaybeReplan then installs unconditionally.
+  void InvalidatePlan() { plan_.reset(); }
+
   /// Feeds an accuracy observation (e.g. proven fraction from a periodic
   /// PROSPECTOR Proof run) into the re-sampling policy.
   void ObserveAccuracy(double accuracy) {

@@ -40,21 +40,35 @@ ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
   sent_count_.assign(n, 0);
   sent_proven_.assign(n, 0);
   worst_proven_sent_.assign(n, Reading{});
+  degraded_ = false;
+  mopup_drops_ = 0;
+  mopup_values_lost_ = 0;
+  result.edge_expected.assign(n, 0);
+  result.edge_delivered.assign(n, 0);
   std::vector<std::vector<Reading>> sent(n);   // what each node passed up
   std::vector<int>& sent_proven = sent_proven_;
 
   double collection = 0.0;
   for (int u : topo.PostOrder()) {
+    const bool is_root = u == topo.root();
+    if (!is_root && !sim_->node_alive(u)) {
+      // A dead node takes no reading and forwards nothing. Proof plans
+      // visit every node (bandwidth >= 1), so its silence is watchdog
+      // evidence. Its children's deliveries already failed at their own
+      // TryUnicast (the shared edge endpoint is down).
+      result.edge_expected[u] = 1;
+      result.degraded = true;
+      continue;
+    }
     // Step 1+2: own reading plus children's lists, sorted best-first.
     std::vector<Reading>& mem = retrieved_[u];
-    if (u != topo.root()) collection += sim_->ChargeAcquisition(u);
+    if (!is_root) collection += sim_->ChargeAcquisition(u);
     mem.push_back({u, truth[u]});
     for (int c : topo.children(u)) {
       mem.insert(mem.end(), sent[c].begin(), sent[c].end());
     }
     SortReadings(&mem);
 
-    const bool is_root = u == topo.root();
     const int budget =
         is_root ? static_cast<int>(mem.size()) : plan_->bandwidth[u];
     const int out_count = std::min<int>(budget, static_cast<int>(mem.size()));
@@ -102,7 +116,31 @@ ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
     sent_count_[u] = out_count;
     if (proven > 0) worst_proven_sent_[u] = mem[proven - 1];
     const int extra = proven < out_count ? 1 : 0;
-    collection += sim_->Unicast(u, out_count, extra);
+    result.edge_expected[u] = 1;
+    const net::DeliveryResult up = sim_->TryUnicast(u, out_count, extra);
+    collection += up.energy_mj;
+    if (up.delivered) {
+      result.edge_delivered[u] = 1;
+    } else {
+      // The parent hears nothing: from its viewpoint this child sent an
+      // empty list with zero proven values, so conditions (c.1)-(c.3)
+      // under-claim above it. Local memory stays intact for mop-up.
+      sent[u].clear();
+      sent_proven[u] = 0;
+      sent_count_[u] = 0;
+      ++result.messages_dropped;
+      result.values_lost += out_count;
+      result.degraded = true;
+    }
+  }
+
+  // A subtree is live when no expected edge on its root path went dark.
+  result.subtree_live.assign(n, 1);
+  for (int u : topo.PreOrder()) {
+    if (u == topo.root()) continue;
+    const bool broken = result.edge_expected[u] && !result.edge_delivered[u];
+    result.subtree_live[u] =
+        !broken && result.subtree_live[topo.parent(u)] ? 1 : 0;
   }
 
   result.collection_energy_mj = collection;
@@ -114,6 +152,7 @@ ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
   result.proven_count =
       std::min<int>(proven_count_[topo.root()],
                     static_cast<int>(result.answer.size()));
+  degraded_ = degraded_ || result.degraded;
   phase1_done_ = true;
   return result;
 }
@@ -158,13 +197,29 @@ ProofExecutor::MopUpReply ProofExecutor::MopUpAtNode(int u, int t,
       if (mode_ == MopUpMode::kBroadcast) {
         sim_->BroadcastPayload(u, kMopUpRequestBytes);
         for (int c : topo.children(u)) {
+          // A dead or partitioned child never hears the broadcast.
+          if (!sim_->edge_usable(c)) {
+            degraded_ = true;
+            continue;
+          }
           MopUpReply reply = MopUpAtNode(c, t_prime, lo_prime, hi_prime);
-          sim_->Unicast(c, static_cast<int>(reply.readings.size()));
+          const net::DeliveryResult up =
+              sim_->TryUnicast(c, static_cast<int>(reply.readings.size()));
+          if (!up.delivered) {
+            ++mopup_drops_;
+            mopup_values_lost_ += static_cast<int>(reply.readings.size());
+            degraded_ = true;
+            continue;
+          }
           fetched.insert(fetched.end(), reply.readings.begin(),
                          reply.readings.end());
         }
       } else {
         for (int c : topo.children(u)) {
+          if (!sim_->edge_usable(c)) {
+            degraded_ = true;
+            continue;
+          }
           // A child that transmitted its whole subtree in phase 1 has
           // nothing left to reveal.
           if (sent_count_[c] == topo.subtree_size(c)) continue;
@@ -177,9 +232,24 @@ ProofExecutor::MopUpReply ProofExecutor::MopUpAtNode(int u, int t,
             hi_c = worst_proven_sent_[c];
           }
           if (!ReadingRanksHigher(hi_c, lo_prime)) continue;  // empty range
-          sim_->Unicast(c, 0, kMopUpRequestBytes);  // tailored request down
+          // Tailored request down; a lost request means the child never
+          // answers this round.
+          const net::DeliveryResult req =
+              sim_->TryUnicast(c, 0, kMopUpRequestBytes);
+          if (!req.delivered) {
+            ++mopup_drops_;
+            degraded_ = true;
+            continue;
+          }
           MopUpReply reply = MopUpAtNode(c, t_prime, lo_prime, hi_c);
-          sim_->Unicast(c, static_cast<int>(reply.readings.size()));
+          const net::DeliveryResult up =
+              sim_->TryUnicast(c, static_cast<int>(reply.readings.size()));
+          if (!up.delivered) {
+            ++mopup_drops_;
+            mopup_values_lost_ += static_cast<int>(reply.readings.size());
+            degraded_ = true;
+            continue;
+          }
           fetched.insert(fetched.end(), reply.readings.begin(),
                          reply.readings.end());
         }
@@ -221,7 +291,20 @@ ExecutionResult ProofExecutor::ExecuteMopUp() {
   if (static_cast<int>(result.answer.size()) > plan_->k) {
     result.answer.resize(plan_->k);
   }
-  result.proven_count = static_cast<int>(result.answer.size());
+  result.messages_dropped = mopup_drops_;
+  result.values_lost = mopup_values_lost_;
+  result.degraded = degraded_;
+  if (degraded_) {
+    // Losses void the exactness claim; fall back to the phase-1 root
+    // certificate, which mop-up merges can only extend, never invalidate
+    // (a proven prefix is the true global top — nothing fetched later can
+    // outrank it).
+    result.proven_count =
+        std::min<int>(proven_count_[topo.root()],
+                      static_cast<int>(result.answer.size()));
+  } else {
+    result.proven_count = static_cast<int>(result.answer.size());
+  }
   return result;
 }
 

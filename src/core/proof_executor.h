@@ -56,12 +56,22 @@ class ProofExecutor {
       : plan_(plan), sim_(sim), mode_(mode) {}
 
   /// Phase 1. `result.proven_count` is the root's proven prefix length.
+  /// Under fault injection / lossy transport, dropped child lists simply
+  /// never arrive: the proving conditions (c.1)-(c.3) are evidence-based,
+  /// so missing evidence shrinks the proven prefix — it never inflates it.
+  /// The result carries the usual degradation annotations.
   ExecutionResult ExecutePhase1(const std::vector<double>& truth,
                                 bool include_trigger = true);
 
-  /// Phase 2; requires ExecutePhase1 first. Returns the exact top-k
-  /// answer (k from the plan) and the phase's energy.
+  /// Phase 2; requires ExecutePhase1 first. Returns the top-k answer
+  /// (k from the plan) and the phase's energy. Loss-free, the answer is
+  /// exact (proven_count == answer size); when any request or reply
+  /// dropped, the result is flagged degraded and proven_count falls back
+  /// to the phase-1 certificate.
   ExecutionResult ExecuteMopUp();
+
+  /// Any message lost so far (either phase).
+  bool degraded() const { return degraded_; }
 
   /// Test/inspection access to node memory after phase 1 or mop-up.
   const std::vector<Reading>& retrieved(int node) const {
@@ -88,6 +98,11 @@ class ProofExecutor {
   std::vector<int> sent_proven_;
   std::vector<Reading> worst_proven_sent_;
   bool phase1_done_ = false;
+  // Loss accounting across both phases; the mop-up counters are filled in
+  // by the MopUpAtNode recursion and copied into its ExecutionResult.
+  bool degraded_ = false;
+  int mopup_drops_ = 0;
+  int mopup_values_lost_ = 0;
 };
 
 }  // namespace core

@@ -1,5 +1,7 @@
 #include "src/core/session.h"
 
+#include <algorithm>
+
 namespace prospector {
 namespace core {
 namespace {
@@ -32,7 +34,20 @@ TopKQuerySession::TopKQuerySession(const net::Topology* topology,
       manager_(planner_.get(),
                PlanRequest{options.k, options.energy_budget_mj},
                options.manager),
-      rng_(seed ^ 0x5e551011) {}
+      rng_(seed ^ 0x5e551011),
+      seed_(seed),
+      original_num_nodes_(topology->num_nodes()) {
+  if (!options_.faults.empty()) {
+    injecting_ = true;
+    injector_ = net::FaultInjector(topology->num_nodes(), options_.faults,
+                                   topology->root());
+    sim_.set_fault_injector(&injector_);
+  }
+  sim_.set_lossy_transport(options_.lossy);
+  orig_of_.resize(topology->num_nodes());
+  for (int i = 0; i < topology->num_nodes(); ++i) orig_of_[i] = i;
+  silent_.assign(topology->num_nodes(), 0);
+}
 
 Result<bool> TopKQuerySession::Replan() {
   auto changed = manager_.MaybeReplan(ctx_, samples_, &sim_);
@@ -44,13 +59,128 @@ Result<bool> TopKQuerySession::Replan() {
   return changed;
 }
 
+void TopKQuerySession::ObserveEdges(const std::vector<char>& expected,
+                                    const std::vector<char>& delivered) {
+  if (options_.dead_after_epochs <= 0) return;
+  if (expected.size() != silent_.size() ||
+      delivered.size() != silent_.size()) {
+    return;
+  }
+  for (size_t u = 0; u < expected.size(); ++u) {
+    if (!expected[u]) continue;  // no evidence either way this epoch
+    silent_[u] = delivered[u] ? 0 : silent_[u] + 1;
+  }
+}
+
+void TopKQuerySession::TranslateAnswer(std::vector<Reading>* answer) const {
+  if (owned_topology_ == nullptr) return;  // ids are still original
+  for (Reading& r : *answer) r.node = orig_of_[r.node];
+}
+
+Result<bool> TopKQuerySession::MaybeHeal(TickResult* result) {
+  if (options_.dead_after_epochs <= 0) return false;
+  const int n = topology_->num_nodes();
+  std::vector<char> suspect(n, 0);
+  bool any = false;
+  for (int u = 0; u < n; ++u) {
+    if (u == topology_->root()) continue;
+    if (silent_[u] >= options_.dead_after_epochs) {
+      suspect[u] = 1;
+      any = true;
+    }
+  }
+  if (!any) return false;
+
+  // Only topmost suspects are declared dead: everything beneath a dead
+  // node is equally silent, but the break sits at the topmost dark edge —
+  // killing the descendants too would throw away live hardware.
+  std::vector<int> dead;
+  for (int u = 0; u < n; ++u) {
+    if (!suspect[u]) continue;
+    bool shadowed = false;
+    for (int a = topology_->parent(u); a != net::Topology::kNoParent;
+         a = topology_->parent(a)) {
+      if (suspect[a]) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (!shadowed) dead.push_back(u);
+  }
+
+  auto rebuilt = net::RebuildWithoutNodes(*topology_, dead,
+                                          options_.rebuild_radio_range);
+  if (!rebuilt.ok()) return rebuilt.status();
+  const std::vector<int>& new_id = rebuilt->new_id;
+  const int new_n = rebuilt->topology.num_nodes();
+
+  for (int i = 0; i < n; ++i) {
+    if (new_id[i] < 0) result->removed_nodes.push_back(orig_of_[i]);
+  }
+  std::sort(result->removed_nodes.begin(), result->removed_nodes.end());
+
+  // Re-index everything that outlives the old tree: the id translation,
+  // the silence counters (old evidence described old edges — start
+  // fresh), the sample window, the failure model, and pending fault
+  // events.
+  std::vector<int> new_orig(new_n, -1);
+  for (int i = 0; i < n; ++i) {
+    if (new_id[i] >= 0) new_orig[new_id[i]] = orig_of_[i];
+  }
+  orig_of_ = std::move(new_orig);
+  silent_.assign(new_n, 0);
+  samples_ = samples_.Remapped(new_id, new_n);
+  net::FailureModel failures = ctx_.failures;
+  if (failures.edge_failure_prob.size() > 1) {
+    std::vector<double> remapped(new_n, 0.0);
+    const int covered =
+        std::min<int>(n, static_cast<int>(failures.edge_failure_prob.size()));
+    for (int i = 0; i < covered; ++i) {
+      if (new_id[i] >= 0) remapped[new_id[i]] = failures.edge_failure_prob[i];
+    }
+    failures.edge_failure_prob = std::move(remapped);
+  }
+  if (injecting_) injector_.Remap(new_id, new_n);
+
+  owned_topology_ = std::make_unique<net::Topology>(std::move(rebuilt->topology));
+  topology_ = owned_topology_.get();
+  ctx_ = PlannerContext{topology_, ctx_.energy, failures};
+  ++rebuilds_;
+  sim_ = net::NetworkSimulator(
+      topology_, ctx_.energy, failures,
+      seed_ ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(rebuilds_)));
+  if (injecting_) sim_.set_fault_injector(&injector_);
+  sim_.set_lossy_transport(options_.lossy);
+
+  // The installed plan indexes nodes that no longer exist; replace it
+  // unconditionally on the surviving topology.
+  manager_.InvalidatePlan();
+  auto changed = Replan();
+  if (!changed.ok()) return changed.status();
+  result->replanned = *changed;
+  result->rebuilt = true;
+  return true;
+}
+
 Result<TopKQuerySession::TickResult> TopKQuerySession::Tick(
     const std::vector<double>& truth) {
-  if (static_cast<int>(truth.size()) != topology_->num_nodes()) {
+  if (static_cast<int>(truth.size()) != original_num_nodes_) {
     return Status::InvalidArgument("truth vector does not match network size");
   }
   TickResult result;
   const int this_epoch = epoch_++;
+  if (injecting_) injector_.AdvanceTo(this_epoch);
+
+  // Project the caller's original-indexed readings onto the current tree.
+  std::vector<double> projected;
+  const std::vector<double>* cur_truth = &truth;
+  if (owned_topology_ != nullptr) {
+    projected.resize(topology_->num_nodes());
+    for (int i = 0; i < topology_->num_nodes(); ++i) {
+      projected[i] = truth[orig_of_[i]];
+    }
+    cur_truth = &projected;
+  }
 
   // Bootstrap and exploration epochs: full sweep, then reconsider the plan.
   const bool bootstrap = this_epoch < options_.bootstrap_sweeps;
@@ -59,16 +189,27 @@ Result<TopKQuerySession::TickResult> TopKQuerySession::Tick(
   if (explore) {
     result.kind = bootstrap ? TickResult::Kind::kBootstrap
                             : TickResult::Kind::kExplore;
-    const double spent = collector_.CollectSample(truth, &sim_, &samples_);
-    sampling_energy_ += spent;
+    const std::vector<double>* fallback =
+        samples_.num_samples() > 0
+            ? &samples_.sample_values(samples_.num_samples() - 1)
+            : nullptr;
+    const sampling::SweepReport sweep =
+        collector_.CollectSampleReport(*cur_truth, &sim_, &samples_, fallback);
+    sampling_energy_ += sweep.energy_mj;
     sim_.ResetStats();
-    // Reconsider the plan once the window is primed.
-    if (this_epoch + 1 >= options_.bootstrap_sweeps) {
+    result.degraded = sweep.degraded;
+    result.values_lost = sweep.values_lost;
+    result.energy_mj = sweep.energy_mj;
+    ObserveEdges(sweep.edge_expected, sweep.edge_delivered);
+    auto healed = MaybeHeal(&result);
+    if (!healed.ok()) return healed.status();
+    // Reconsider the plan once the window is primed (the heal path has
+    // already replanned on the new tree).
+    if (!result.rebuilt && this_epoch + 1 >= options_.bootstrap_sweeps) {
       auto changed = Replan();
       if (!changed.ok()) return changed.status();
       result.replanned = *changed;
     }
-    result.energy_mj = spent;
     return result;
   }
 
@@ -85,26 +226,39 @@ Result<TopKQuerySession::TickResult> TopKQuerySession::Tick(
     result.kind = TickResult::Kind::kAudit;
     auto exact = RunProspectorExact(
         ctx_, samples_, options_.k,
-        ProofPlanner::MinimumCost(ctx_) * options_.audit_budget_factor, truth,
-        &sim_, options_.lp);
+        ProofPlanner::MinimumCost(ctx_) * options_.audit_budget_factor,
+        *cur_truth, &sim_, options_.lp);
     sim_.ResetStats();
     if (!exact.ok()) return exact.status();
     audit_energy_ += exact->total_energy_mj();
     result.answer = exact->answer;
+    TranslateAnswer(&result.answer);
     result.proven = exact->phase1_proven;
     result.energy_mj = exact->total_energy_mj();
+    result.degraded = exact->degraded;
+    result.values_lost = exact->values_lost;
     manager_.ObserveAccuracy(static_cast<double>(exact->phase1_proven) /
                              options_.k);
+    ObserveEdges(exact->edge_expected, exact->edge_delivered);
+    auto healed = MaybeHeal(&result);
+    if (!healed.ok()) return healed.status();
     return result;
   }
 
   // Ordinary query epoch.
   result.kind = TickResult::Kind::kQuery;
-  ExecutionResult r = CollectionExecutor::Execute(manager_.plan(), truth, &sim_);
+  ExecutionResult r =
+      CollectionExecutor::Execute(manager_.plan(), *cur_truth, &sim_);
   sim_.ResetStats();
   query_energy_ += r.total_energy_mj();
   result.answer = std::move(r.answer);
+  TranslateAnswer(&result.answer);
   result.energy_mj = r.total_energy_mj();
+  result.degraded = r.degraded;
+  result.values_lost = r.values_lost;
+  ObserveEdges(r.edge_expected, r.edge_delivered);
+  auto healed = MaybeHeal(&result);
+  if (!healed.ok()) return healed.status();
   return result;
 }
 

@@ -9,6 +9,8 @@
 #include "src/core/lp_filter_planner.h"
 #include "src/core/lp_no_filter_planner.h"
 #include "src/core/plan_manager.h"
+#include "src/net/fault_injector.h"
+#include "src/net/rebuild.h"
 #include "src/net/simulator.h"
 #include "src/sampling/collector.h"
 #include "src/sampling/sample_set.h"
@@ -35,6 +37,23 @@ struct SessionOptions {
   int audit_every = 0;
   /// Phase-1 budget of an audit, as a multiple of the proof floor.
   double audit_budget_factor = 1.15;
+
+  // --- Robustness (DESIGN.md, "Failure semantics") ---
+  /// Scripted fault timeline, driven by the session clock (event epoch ==
+  /// Tick count). Node ids refer to the construction-time topology; the
+  /// schedule follows survivors through rebuilds. Empty = no injection.
+  net::FaultSchedule faults;
+  /// Transport tier 2: bounded retries with backoff, then genuine drops.
+  net::LossyTransport lossy;
+  /// Watchdog: a non-root subtree whose expected traffic has been missing
+  /// for this many consecutive observed epochs is declared permanently
+  /// dead; the session rebuilds the tree without it, remaps the sample
+  /// window, and replans (Section 4.4's "the tree adjusts to exclude the
+  /// node"). 0 disables the watchdog.
+  int dead_after_epochs = 0;
+  /// Radio range for the rebuild's minimum-hop re-tree. Required when the
+  /// watchdog is enabled; the topology must be geometric (positions).
+  double rebuild_radio_range = 0.0;
 };
 
 /// One-stop standing top-k query over a deployed network — the facade a
@@ -55,14 +74,25 @@ class TopKQuerySession {
     enum class Kind { kBootstrap, kExplore, kAudit, kQuery };
     Kind kind = Kind::kQuery;
     /// The query answer (top-k readings at the root); exact for audit
-    /// epochs, empty for pure exploration epochs.
+    /// epochs, empty for pure exploration epochs. Node ids are always
+    /// construction-time (original) ids, even after rebuilds.
     std::vector<Reading> answer;
     double energy_mj = 0.0;
     bool replanned = false;
     /// Audit epochs: how many answers phase 1 proved (k = full marks).
     int proven = -1;
+    /// Loss accounting for this epoch (fault injection / lossy transport).
+    bool degraded = false;
+    int values_lost = 0;
+    /// Watchdog action: original ids excluded this epoch (nodes declared
+    /// dead plus survivors orphaned by their loss). Usually empty.
+    std::vector<int> removed_nodes;
+    bool rebuilt = false;
   };
 
+  /// `truth` is always indexed by construction-time node ids (size = the
+  /// original network), regardless of rebuilds; readings of excluded
+  /// nodes are simply ignored.
   Result<TickResult> Tick(const std::vector<double>& truth);
 
   int epoch() const { return epoch_; }
@@ -70,6 +100,17 @@ class TopKQuerySession {
   const QueryPlan& plan() const { return manager_.plan(); }
   const sampling::SampleSet& samples() const { return samples_; }
   const PlanManager& manager() const { return manager_; }
+
+  /// The tree currently in use (the rebuilt one after self-healing).
+  const net::Topology& topology() const { return *topology_; }
+  /// How many self-healing rebuilds have happened.
+  int rebuilds() const { return rebuilds_; }
+  /// Current id -> construction-time id.
+  const std::vector<int>& original_ids() const { return orig_of_; }
+  /// The active injector, or nullptr when no faults were scripted.
+  const net::FaultInjector* fault_injector() const {
+    return injecting_ ? &injector_ : nullptr;
+  }
 
   /// Cumulative energy by activity, mJ.
   double query_energy_mj() const { return query_energy_; }
@@ -82,6 +123,14 @@ class TopKQuerySession {
 
  private:
   Result<bool> Replan();
+  /// Feeds one epoch's per-edge link evidence into the silence counters.
+  void ObserveEdges(const std::vector<char>& expected,
+                    const std::vector<char>& delivered);
+  /// Answers leave the session in construction-time ids.
+  void TranslateAnswer(std::vector<Reading>* answer) const;
+  /// Declares long-silent subtrees dead, rebuilds, remaps, replans.
+  /// Returns whether a rebuild happened.
+  Result<bool> MaybeHeal(TickResult* result);
 
   const net::Topology* topology_;
   SessionOptions options_;
@@ -98,6 +147,20 @@ class TopKQuerySession {
   double sampling_energy_ = 0.0;
   double audit_energy_ = 0.0;
   double install_energy_ = 0.0;
+
+  // Robustness state. After a self-healing rebuild `owned_topology_`
+  // replaces the caller's topology and `topology_`/`ctx_`/`sim_` all point
+  // at it; `orig_of_[i]` maps current node i back to its construction-time
+  // id. `silent_[i]` counts consecutive observed epochs in which node i's
+  // edge was expected to carry traffic but delivered nothing.
+  uint64_t seed_;
+  int original_num_nodes_;
+  net::FaultInjector injector_;
+  bool injecting_ = false;
+  std::unique_ptr<net::Topology> owned_topology_;
+  std::vector<int> orig_of_;
+  std::vector<int> silent_;
+  int rebuilds_ = 0;
 };
 
 }  // namespace core

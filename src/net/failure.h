@@ -1,7 +1,10 @@
 #ifndef PROSPECTOR_NET_FAILURE_H_
 #define PROSPECTOR_NET_FAILURE_H_
 
+#include <string>
 #include <vector>
+
+#include "src/util/status.h"
 
 namespace prospector {
 namespace net {
@@ -13,20 +16,35 @@ namespace net {
 /// the failed link, costing `reroute_cost_factor` times the normal message
 /// energy. Planners fold this in by inflating each edge's expected cost
 /// (ExpectedCostFactor); the simulator draws actual failures per message.
+///
+/// `edge_failure_prob` is indexed by child node id, with two valid shapes:
+///  * one entry per node — per-edge probabilities, or
+///  * exactly one entry — a scalar broadcast to every edge (Uniform()).
+/// Anything in between is a configuration error: it used to produce a
+/// silent failure-free tail, which is exactly the kind of bug a robustness
+/// study must not mask. NetworkSimulator rejects such models at
+/// construction (Validate()).
 struct FailureModel {
-  /// Per-edge failure probability, indexed by child node id. Empty means
-  /// a failure-free network. Missing entries default to 0.
+  /// Per-edge failure probability (or a single broadcast scalar). Empty
+  /// means a failure-free network.
   std::vector<double> edge_failure_prob;
   /// Cost multiplier of a re-routed message relative to a direct one.
   double reroute_cost_factor = 2.0;
 
+  /// Every edge fails with probability `p` (documented scalar broadcast).
+  static FailureModel Uniform(double p, double reroute_cost_factor = 2.0) {
+    FailureModel f;
+    f.edge_failure_prob.assign(1, p);
+    f.reroute_cost_factor = reroute_cost_factor;
+    return f;
+  }
+
   bool enabled() const { return !edge_failure_prob.empty(); }
 
   double ProbabilityFor(int child_edge) const {
-    if (child_edge < 0 ||
-        child_edge >= static_cast<int>(edge_failure_prob.size())) {
-      return 0.0;
-    }
+    if (edge_failure_prob.empty() || child_edge < 0) return 0.0;
+    if (edge_failure_prob.size() == 1) return edge_failure_prob[0];
+    if (child_edge >= static_cast<int>(edge_failure_prob.size())) return 0.0;
     return edge_failure_prob[child_edge];
   }
 
@@ -35,6 +53,27 @@ struct FailureModel {
   double ExpectedCostFactor(int child_edge) const {
     const double p = ProbabilityFor(child_edge);
     return 1.0 + p * (reroute_cost_factor - 1.0);
+  }
+
+  /// Checks the model against a deployment of `num_nodes` nodes: when
+  /// enabled, the probability vector must either broadcast a scalar
+  /// (size 1) or cover every node, and every entry must be in [0, 1].
+  Status Validate(int num_nodes) const {
+    if (!enabled()) return Status::OK();
+    const int size = static_cast<int>(edge_failure_prob.size());
+    if (size != 1 && size < num_nodes) {
+      return Status::InvalidArgument(
+          "FailureModel covers " + std::to_string(size) + " of " +
+          std::to_string(num_nodes) +
+          " nodes; use one entry per node or a single broadcast scalar");
+    }
+    for (double p : edge_failure_prob) {
+      if (p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument(
+            "edge failure probability out of [0, 1]: " + std::to_string(p));
+      }
+    }
+    return Status::OK();
   }
 };
 

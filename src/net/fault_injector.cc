@@ -1,0 +1,104 @@
+#include "src/net/fault_injector.h"
+
+#include <algorithm>
+
+namespace prospector {
+namespace net {
+
+FaultInjector::FaultInjector(int num_nodes, FaultSchedule schedule, int root)
+    : num_nodes_(num_nodes),
+      root_(root),
+      events_(std::move(schedule.events)),
+      dead_(num_nodes, 0),
+      cut_(num_nodes, 0),
+      has_override_(num_nodes, 0),
+      prob_override_(num_nodes, 0.0) {
+  // Stable sort keeps script order among same-epoch events, so a script
+  // is replayed exactly as written.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.epoch < b.epoch;
+                   });
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  const int v = event.node;
+  if (v < 0 || v >= num_nodes_) return;  // stale id (e.g. after a rebuild)
+  switch (event.kind) {
+    case FaultEvent::Kind::kKillNode:
+      if (v == root_) break;  // the base station cannot die
+      if (!dead_[v]) ++num_dead_;
+      dead_[v] = 1;
+      break;
+    case FaultEvent::Kind::kReviveNode:
+      if (dead_[v]) --num_dead_;
+      dead_[v] = 0;
+      break;
+    case FaultEvent::Kind::kDegradeEdge:
+      has_override_[v] = 1;
+      prob_override_[v] = event.probability;
+      break;
+    case FaultEvent::Kind::kRestoreEdge:
+      has_override_[v] = 0;
+      prob_override_[v] = 0.0;
+      break;
+    case FaultEvent::Kind::kPartitionSubtree:
+      if (v == root_) break;  // the root owns no edge
+      cut_[v] = 1;
+      break;
+    case FaultEvent::Kind::kHealSubtree:
+      cut_[v] = 0;
+      break;
+  }
+}
+
+void FaultInjector::AdvanceTo(int epoch) {
+  if (epoch <= epoch_) return;
+  epoch_ = epoch;
+  while (next_event_ < events_.size() && events_[next_event_].epoch <= epoch) {
+    Apply(events_[next_event_]);
+    ++next_event_;
+  }
+}
+
+void FaultInjector::Remap(const std::vector<int>& new_id, int new_num_nodes) {
+  std::vector<char> dead(new_num_nodes, 0), cut(new_num_nodes, 0),
+      has(new_num_nodes, 0);
+  std::vector<double> prob(new_num_nodes, 0.0);
+  num_dead_ = 0;
+  for (int i = 0; i < num_nodes_; ++i) {
+    const int j = i < static_cast<int>(new_id.size()) ? new_id[i] : -1;
+    if (j < 0) continue;
+    dead[j] = dead_[i];
+    cut[j] = cut_[i];
+    has[j] = has_override_[i];
+    prob[j] = prob_override_[i];
+    if (dead[j]) ++num_dead_;
+  }
+  dead_ = std::move(dead);
+  cut_ = std::move(cut);
+  has_override_ = std::move(has);
+  prob_override_ = std::move(prob);
+
+  // Pending events follow the survivors; events naming removed nodes drop.
+  std::vector<FaultEvent> pending;
+  for (size_t e = next_event_; e < events_.size(); ++e) {
+    FaultEvent ev = events_[e];
+    const int j =
+        ev.node >= 0 && ev.node < static_cast<int>(new_id.size())
+            ? new_id[ev.node]
+            : -1;
+    if (j < 0) continue;
+    ev.node = j;
+    pending.push_back(ev);
+  }
+  events_ = std::move(pending);
+  next_event_ = 0;
+  num_nodes_ = new_num_nodes;
+  root_ = root_ < static_cast<int>(new_id.size()) && new_id[root_] >= 0
+              ? new_id[root_]
+              : 0;
+}
+
+}  // namespace net
+}  // namespace prospector

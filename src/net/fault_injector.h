@@ -1,0 +1,133 @@
+#ifndef PROSPECTOR_NET_FAULT_INJECTOR_H_
+#define PROSPECTOR_NET_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace prospector {
+namespace net {
+
+/// One scripted fault, applied when the injector's clock reaches `epoch`.
+///
+/// Node ids refer to the topology the injector was built for; after a tree
+/// rebuild the schedule follows the surviving nodes through
+/// FaultInjector::Remap (events naming removed nodes are dropped).
+struct FaultEvent {
+  enum class Kind {
+    /// Node `node` dies: it stops acquiring, sending and receiving.
+    kKillNode,
+    /// Node `node` comes back to life.
+    kReviveNode,
+    /// Override the failure probability of the edge above `node` with
+    /// `probability` (models interference / a degrading link).
+    kDegradeEdge,
+    /// Remove the override; the edge reverts to the base FailureModel.
+    kRestoreEdge,
+    /// Cut the edge above `node` outright: the whole subtree loses its
+    /// path to the root while the partition lasts.
+    kPartitionSubtree,
+    /// Undo a kPartitionSubtree on the same node.
+    kHealSubtree,
+  };
+
+  int epoch = 0;
+  Kind kind = Kind::kKillNode;
+  /// The affected node; for edge events this is the child id that owns
+  /// the edge (edge id == child node id throughout the library).
+  int node = -1;
+  double probability = 0.0;  ///< kDegradeEdge only
+};
+
+/// A deterministic scripted fault timeline. The schedule is plain data:
+/// the same script replayed against the same seeds yields bit-identical
+/// runs, which is what makes fault-recovery tests reproducible.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  FaultSchedule& KillNode(int epoch, int node) {
+    events.push_back({epoch, FaultEvent::Kind::kKillNode, node, 0.0});
+    return *this;
+  }
+  FaultSchedule& ReviveNode(int epoch, int node) {
+    events.push_back({epoch, FaultEvent::Kind::kReviveNode, node, 0.0});
+    return *this;
+  }
+  FaultSchedule& DegradeEdge(int epoch, int child_edge, double probability) {
+    events.push_back(
+        {epoch, FaultEvent::Kind::kDegradeEdge, child_edge, probability});
+    return *this;
+  }
+  FaultSchedule& RestoreEdge(int epoch, int child_edge) {
+    events.push_back({epoch, FaultEvent::Kind::kRestoreEdge, child_edge, 0.0});
+    return *this;
+  }
+  FaultSchedule& PartitionSubtree(int epoch, int node) {
+    events.push_back({epoch, FaultEvent::Kind::kPartitionSubtree, node, 0.0});
+    return *this;
+  }
+  FaultSchedule& HealSubtree(int epoch, int node) {
+    events.push_back({epoch, FaultEvent::Kind::kHealSubtree, node, 0.0});
+    return *this;
+  }
+
+  bool empty() const { return events.empty(); }
+};
+
+/// Materialized fault state the NetworkSimulator consults per message.
+///
+/// The owner advances the clock once per query epoch (AdvanceTo); events
+/// with `event.epoch <= clock` are folded into the current state in script
+/// order. Killing the root is rejected (the base station is mains-powered
+/// by assumption); such events are ignored with the root pinned alive.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(int num_nodes, FaultSchedule schedule, int root = 0);
+
+  /// Applies every event scheduled at or before `epoch`. Clocks never run
+  /// backwards; earlier values are a no-op.
+  void AdvanceTo(int epoch);
+
+  int epoch() const { return epoch_; }
+  int num_nodes() const { return num_nodes_; }
+
+  bool node_alive(int node) const { return dead_.empty() || !dead_[node]; }
+  /// True when the edge above `child_edge` is partitioned away.
+  bool edge_cut(int child_edge) const {
+    return !cut_.empty() && cut_[child_edge];
+  }
+  /// The edge's effective failure probability: the degradation override
+  /// when one is active, otherwise `base`.
+  double EdgeProbability(int child_edge, double base) const {
+    if (!has_override_.empty() && has_override_[child_edge]) {
+      return prob_override_[child_edge];
+    }
+    return base;
+  }
+
+  int num_dead() const { return num_dead_; }
+
+  /// Re-indexes live state and *pending* events after a topology rebuild:
+  /// `new_id[i]` is node i's id in the rebuilt network, -1 for removed
+  /// nodes (their pending events are dropped).
+  void Remap(const std::vector<int>& new_id, int new_num_nodes);
+
+ private:
+  void Apply(const FaultEvent& event);
+
+  int num_nodes_ = 0;
+  int root_ = 0;
+  int epoch_ = -1;
+  size_t next_event_ = 0;
+  std::vector<FaultEvent> events_;  // stable-sorted by epoch
+  std::vector<char> dead_;
+  std::vector<char> cut_;
+  std::vector<char> has_override_;
+  std::vector<double> prob_override_;
+  int num_dead_ = 0;
+};
+
+}  // namespace net
+}  // namespace prospector
+
+#endif  // PROSPECTOR_NET_FAULT_INJECTOR_H_

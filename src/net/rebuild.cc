@@ -27,15 +27,17 @@ Result<RebuiltTopology> RebuildWithoutNodes(const Topology& topology,
   }
   const std::vector<Point>& pos = topology.positions();
 
-  // BFS over surviving nodes' radio graph.
+  // BFS over surviving nodes' radio graph, from the actual root (which is
+  // not necessarily node 0 — Topology supports arbitrary root ids).
+  const int root = topology.root();
   std::vector<int> old_parent(n, Topology::kNoParent);
   std::vector<int> depth(n, -1);
-  depth[0] = 0;
-  std::deque<int> queue{0};
+  depth[root] = 0;
+  std::deque<int> queue{root};
   while (!queue.empty()) {
     const int u = queue.front();
     queue.pop_front();
-    for (int v = 1; v < n; ++v) {
+    for (int v = 0; v < n; ++v) {
       if (dead[v] || depth[v] >= 0) continue;
       if (Distance(pos[u], pos[v]) <= radio_range) {
         depth[v] = depth[u] + 1;
@@ -61,7 +63,7 @@ Result<RebuiltTopology> RebuildWithoutNodes(const Topology& topology,
   for (int i = 0; i < n; ++i) {
     if (out.new_id[i] < 0) continue;
     new_pos[out.new_id[i]] = pos[i];
-    if (i != 0) parents[out.new_id[i]] = out.new_id[old_parent[i]];
+    if (i != root) parents[out.new_id[i]] = out.new_id[old_parent[i]];
   }
   auto topo = Topology::FromParents(std::move(parents));
   if (!topo.ok()) return topo.status();

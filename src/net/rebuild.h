@@ -24,7 +24,8 @@ struct RebuiltTopology {
 
 /// Rebuilds the minimum-hop spanning tree over the surviving nodes' radio
 /// graph. Requires a geometric topology (positions) so connectivity can be
-/// re-derived; the root (node 0) must not be among the dead.
+/// re-derived; the root — `topology.root()`, wherever it sits — must not
+/// be among the dead. The rebuilt tree's root is `new_id[topology.root()]`.
 Result<RebuiltTopology> RebuildWithoutNodes(const Topology& topology,
                                             const std::vector<int>& dead_nodes,
                                             double radio_range);

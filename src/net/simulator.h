@@ -2,10 +2,13 @@
 #define PROSPECTOR_NET_SIMULATOR_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "src/net/energy_model.h"
 #include "src/net/failure.h"
+#include "src/net/fault_injector.h"
 #include "src/net/topology.h"
 #include "src/util/rng.h"
 
@@ -17,8 +20,11 @@ struct TransmissionStats {
   double total_energy_mj = 0.0;
   int unicast_messages = 0;
   int broadcast_messages = 0;
-  int64_t values_transmitted = 0;
-  int reroutes = 0;
+  int64_t values_transmitted = 0;  ///< readings on *delivered* messages
+  int reroutes = 0;                ///< reliable mode: re-routed messages
+  int retries = 0;                 ///< lossy mode: re-transmissions
+  int drops = 0;                   ///< messages abandoned after the retry budget
+  int64_t values_lost = 0;         ///< readings on dropped messages
   int acquisitions = 0;
   /// Energy attributed per node (sender side of each message).
   std::vector<double> per_node_energy_mj;
@@ -29,6 +35,9 @@ struct TransmissionStats {
     broadcast_messages += other.broadcast_messages;
     values_transmitted += other.values_transmitted;
     reroutes += other.reroutes;
+    retries += other.retries;
+    drops += other.drops;
+    values_lost += other.values_lost;
     acquisitions += other.acquisitions;
     if (per_node_energy_mj.size() < other.per_node_energy_mj.size()) {
       per_node_energy_mj.resize(other.per_node_energy_mj.size(), 0.0);
@@ -39,10 +48,31 @@ struct TransmissionStats {
   }
 };
 
+/// Transport tier 2 (see DESIGN.md, "Failure semantics"): instead of the
+/// paper's always-successful re-routing, a failed transmission is retried
+/// up to `max_retries` times — each attempt paying more energy as the
+/// backoff lengthens preambles — and then genuinely dropped.
+struct LossyTransport {
+  bool enabled = false;
+  /// Re-transmissions after the first attempt before the message drops.
+  int max_retries = 3;
+  /// Attempt a (0-based) costs `base * pow(backoff_cost_growth, a)`.
+  double backoff_cost_growth = 1.5;
+};
+
+/// Outcome of one transmission attempt sequence.
+struct DeliveryResult {
+  bool delivered = true;
+  double energy_mj = 0.0;
+  int attempts = 1;
+};
+
 /// Message-level simulator of the network's MAC layer, per Section 5:
 /// only communication costs are modeled. Executors call Unicast/Broadcast
 /// as their protocol sends messages; the simulator draws transient edge
-/// failures, charges re-routing, and keeps the energy ledger.
+/// failures, charges re-routing (or, in lossy mode, bounded retries and
+/// real drops), consults the fault injector for dead nodes and cut edges,
+/// and keeps the energy ledger.
 class NetworkSimulator {
  public:
   NetworkSimulator(const Topology* topology, EnergyModel energy,
@@ -51,6 +81,13 @@ class NetworkSimulator {
         energy_(energy),
         failures_(failures),
         rng_(seed) {
+    const Status valid = failures_.Validate(topology->num_nodes());
+    if (!valid.ok()) {
+      // A misconfigured failure model used to degrade into a silently
+      // failure-free tail; fail loudly at construction instead.
+      std::fprintf(stderr, "NetworkSimulator: %s\n", valid.ToString().c_str());
+      std::abort();
+    }
     stats_.per_node_energy_mj.assign(topology->num_nodes(), 0.0);
   }
 
@@ -58,22 +95,91 @@ class NetworkSimulator {
   const EnergyModel& energy_model() const { return energy_; }
   const FailureModel& failure_model() const { return failures_; }
 
+  /// Attaches a scripted fault timeline (not owned; may be nullptr). The
+  /// owner advances the injector's clock; the simulator only consults it.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  const FaultInjector* fault_injector() const { return injector_; }
+
+  void set_lossy_transport(LossyTransport lossy) { lossy_ = lossy; }
+  const LossyTransport& lossy_transport() const { return lossy_; }
+
+  bool node_alive(int node) const {
+    return injector_ == nullptr || injector_->node_alive(node);
+  }
+  /// Can a message cross the edge above `child_edge` at all? False when
+  /// either endpoint is dead or the edge is partitioned away.
+  bool edge_usable(int child_edge) const {
+    if (injector_ == nullptr) return true;
+    return injector_->node_alive(child_edge) &&
+           injector_->node_alive(topology_->parent(child_edge)) &&
+           !injector_->edge_cut(child_edge);
+  }
+
   /// Unicast along the tree edge owned by `child_edge`, in either
   /// direction (child->parent collection or parent->child request): the
   /// energy cost is symmetric. `num_values` readings plus `extra_bytes`
-  /// protocol payload. Returns the charged energy.
-  double Unicast(int child_edge, int num_values, int extra_bytes = 0) {
-    double cost = energy_.MessageCostWithExtra(num_values, extra_bytes);
-    if (failures_.enabled() &&
-        rng_.Bernoulli(failures_.ProbabilityFor(child_edge))) {
-      cost *= failures_.reroute_cost_factor;
-      ++stats_.reroutes;
+  /// protocol payload.
+  ///
+  /// Reliable mode (lossy disabled): a drawn transient failure re-routes
+  /// at `reroute_cost_factor` and the message always arrives — unless the
+  /// edge is unusable (dead endpoint / partition), where no protocol can
+  /// help: the sender pays one transmission and the message drops.
+  ///
+  /// Lossy mode: every attempt independently fails with the edge's
+  /// failure probability (injector overrides included); after
+  /// `max_retries` re-transmissions — each charged with backoff growth —
+  /// the message is genuinely dropped.
+  DeliveryResult TryUnicast(int child_edge, int num_values,
+                            int extra_bytes = 0) {
+    const double base = energy_.MessageCostWithExtra(num_values, extra_bytes);
+    const bool usable = edge_usable(child_edge);
+    DeliveryResult out;
+
+    if (!lossy_.enabled) {
+      out.energy_mj = base;
+      if (usable && failures_.enabled() &&
+          rng_.Bernoulli(EffectiveProbability(child_edge))) {
+        out.energy_mj *= failures_.reroute_cost_factor;
+        ++stats_.reroutes;
+      }
+      out.delivered = usable;
+    } else {
+      const int max_attempts = 1 + (lossy_.max_retries > 0
+                                        ? lossy_.max_retries
+                                        : 0);
+      const double p = EffectiveProbability(child_edge);
+      out.delivered = false;
+      out.attempts = 0;
+      double attempt_cost = base;
+      for (int a = 0; a < max_attempts; ++a) {
+        ++out.attempts;
+        out.energy_mj += attempt_cost;
+        attempt_cost *= lossy_.backoff_cost_growth;
+        if (usable && !(p > 0.0 && rng_.Bernoulli(p))) {
+          out.delivered = true;
+          break;
+        }
+      }
+      stats_.retries += out.attempts - 1;
     }
-    stats_.total_energy_mj += cost;
-    ++stats_.unicast_messages;
-    stats_.values_transmitted += num_values;
-    stats_.per_node_energy_mj[child_edge] += cost;
-    return cost;
+
+    stats_.total_energy_mj += out.energy_mj;
+    stats_.unicast_messages += lossy_.enabled ? out.attempts : 1;
+    stats_.per_node_energy_mj[child_edge] += out.energy_mj;
+    if (out.delivered) {
+      stats_.values_transmitted += num_values;
+    } else {
+      ++stats_.drops;
+      stats_.values_lost += num_values;
+    }
+    return out;
+  }
+
+  /// Legacy reliable-delivery entry point: charges like TryUnicast and
+  /// returns the energy. Callers that must react to loss (every executor
+  /// in lossy/fault-injected runs) use TryUnicast instead.
+  double Unicast(int child_edge, int num_values, int extra_bytes = 0) {
+    return TryUnicast(child_edge, num_values, extra_bytes).energy_mj;
   }
 
   /// Empty-body broadcast by `node` (query trigger, Section 2). One
@@ -130,10 +236,18 @@ class NetworkSimulator {
   }
 
  private:
+  double EffectiveProbability(int child_edge) const {
+    const double base = failures_.ProbabilityFor(child_edge);
+    return injector_ == nullptr ? base
+                                : injector_->EdgeProbability(child_edge, base);
+  }
+
   const Topology* topology_;
   EnergyModel energy_;
   FailureModel failures_;
   Rng rng_;
+  FaultInjector* injector_ = nullptr;  // not owned
+  LossyTransport lossy_;
   TransmissionStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #ifndef PROSPECTOR_SAMPLING_COLLECTOR_H_
 #define PROSPECTOR_SAMPLING_COLLECTOR_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "src/net/simulator.h"
@@ -9,6 +10,19 @@
 
 namespace prospector {
 namespace sampling {
+
+/// What a full sweep actually achieved under faults. Fault-free, every
+/// edge delivers and the recorded sample equals the truth vector.
+struct SweepReport {
+  double energy_mj = 0.0;
+  int values_lost = 0;    ///< readings that were in flight and vanished
+  bool degraded = false;  ///< any node dead or message dropped
+  /// Per child-edge link evidence (index == child node id): a sweep
+  /// expects every non-root node to report, so silence here is the
+  /// strongest watchdog signal available.
+  std::vector<char> edge_expected;
+  std::vector<char> edge_delivered;
+};
 
 /// Exploration/exploitation sample acquisition (Section 3): "at randomly
 /// chosen timesteps, we spend more energy to collect all values in the
@@ -29,22 +43,78 @@ class SampleCollector {
   }
 
   /// Charges a full network sweep to `sim` and appends `truth` to `samples`.
-  /// Returns the energy spent.
+  /// Returns the energy spent. Fault-tolerant: see CollectSampleReport.
   double CollectSample(const std::vector<double>& truth,
                        net::NetworkSimulator* sim, SampleSet* samples) const {
+    return CollectSampleReport(truth, sim, samples).energy_mj;
+  }
+
+  /// Full sweep with loss accounting. Each node bundles its own reading
+  /// with whatever its children actually delivered and sends that bundle
+  /// up one message; fault-free this charges exactly one message of
+  /// subtree_size(u) values per edge (bit-identical to the historical
+  /// sweep). Readings that never reach the root are imputed in the
+  /// recorded sample — from `fallback` (typically the previous sample)
+  /// when provided, otherwise pessimistically as the minimum delivered
+  /// value so a dark subtree cannot fake top-k heat.
+  SweepReport CollectSampleReport(
+      const std::vector<double>& truth, net::NetworkSimulator* sim,
+      SampleSet* samples, const std::vector<double>* fallback = nullptr) const {
     const net::Topology& topo = sim->topology();
-    double spent = 0.0;
-    // Trigger broadcast propagates down every internal node.
+    const int n = topo.num_nodes();
+    SweepReport report;
+    report.edge_expected.assign(n, 0);
+    report.edge_delivered.assign(n, 0);
+    // Trigger broadcast propagates down every live internal node.
     for (int u : topo.PreOrder()) {
-      if (!topo.is_leaf(u)) spent += sim->Broadcast(u);
+      if (!topo.is_leaf(u) && sim->node_alive(u)) {
+        report.energy_mj += sim->Broadcast(u);
+      }
     }
-    // Collection: every edge carries the child's whole subtree.
+    // Collection: each edge carries the values that actually reached the
+    // child, plus its own reading.
+    std::vector<int> bundle(n, 0);  // values each node delivered upward
     for (int u : topo.PostOrder()) {
       if (u == topo.root()) continue;
-      spent += sim->Unicast(u, topo.subtree_size(u));
+      report.edge_expected[u] = 1;  // a sweep visits everyone
+      if (!sim->node_alive(u)) {
+        // No acquisition, no send. Its children's bundles already failed
+        // at their own TryUnicast (the shared endpoint is down).
+        report.degraded = true;
+        continue;
+      }
+      int carrying = 1;  // own reading
+      for (int c : topo.children(u)) carrying += bundle[c];
+      const net::DeliveryResult up = sim->TryUnicast(u, carrying);
+      report.energy_mj += up.energy_mj;
+      if (up.delivered) {
+        report.edge_delivered[u] = 1;
+        bundle[u] = carrying;
+      } else {
+        report.values_lost += carrying;
+        report.degraded = true;
+      }
     }
-    samples->Add(truth);
-    return spent;
+    // A reading arrives iff every edge on its root path delivered.
+    std::vector<char> arrived(n, 1);
+    for (int u : topo.PreOrder()) {
+      if (u == topo.root()) continue;
+      arrived[u] =
+          report.edge_delivered[u] && arrived[topo.parent(u)] ? 1 : 0;
+    }
+    std::vector<double> collected = truth;
+    double min_arrived = truth[topo.root()];  // the root always has itself
+    for (int u = 0; u < n; ++u) {
+      if (arrived[u]) min_arrived = std::min(min_arrived, truth[u]);
+    }
+    for (int u = 0; u < n; ++u) {
+      if (arrived[u]) continue;
+      collected[u] = (fallback != nullptr && static_cast<int>(fallback->size()) == n)
+                         ? (*fallback)[u]
+                         : min_arrived;
+    }
+    samples->Add(collected);
+    return report;
   }
 
   /// Cost of one sweep without executing it (for planning/amortization).

@@ -48,10 +48,13 @@ void ThreadPool::WorkerLoop() {
     }
     (*task.body)(task.begin, task.end);
     {
+      // Notify while still holding the lock: the caller owns the counter,
+      // mutex, and cv on its stack and destroys them the moment it sees
+      // outstanding == 0, so an unlocked notify could touch a dead cv.
       std::lock_guard<std::mutex> lock(*task.done_mutex);
       --*task.outstanding;
+      task.done_cv->notify_one();
     }
-    task.done_cv->notify_one();
   }
 }
 

@@ -1,0 +1,107 @@
+#include "src/net/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace prospector {
+namespace net {
+namespace {
+
+TEST(FaultInjectorTest, AppliesEventsAsTheClockAdvances) {
+  // Scripted out of order on purpose; the injector sorts by epoch.
+  FaultSchedule schedule;
+  schedule.KillNode(5, 2)
+      .HealSubtree(7, 3)
+      .DegradeEdge(3, 1, 0.7)
+      .ReviveNode(8, 2)
+      .PartitionSubtree(4, 3)
+      .RestoreEdge(6, 1);
+  FaultInjector injector(6, schedule);
+
+  injector.AdvanceTo(2);
+  EXPECT_TRUE(injector.node_alive(2));
+  EXPECT_FALSE(injector.edge_cut(3));
+  EXPECT_DOUBLE_EQ(injector.EdgeProbability(1, 0.1), 0.1);
+
+  injector.AdvanceTo(3);
+  EXPECT_DOUBLE_EQ(injector.EdgeProbability(1, 0.1), 0.7);
+
+  injector.AdvanceTo(4);
+  EXPECT_TRUE(injector.edge_cut(3));
+
+  injector.AdvanceTo(5);
+  EXPECT_FALSE(injector.node_alive(2));
+  EXPECT_EQ(injector.num_dead(), 1);
+
+  injector.AdvanceTo(6);
+  EXPECT_DOUBLE_EQ(injector.EdgeProbability(1, 0.1), 0.1);
+
+  injector.AdvanceTo(7);
+  EXPECT_FALSE(injector.edge_cut(3));
+
+  injector.AdvanceTo(8);
+  EXPECT_TRUE(injector.node_alive(2));
+  EXPECT_EQ(injector.num_dead(), 0);
+
+  // Clocks never run backwards; this is a no-op.
+  injector.AdvanceTo(3);
+  EXPECT_EQ(injector.epoch(), 8);
+  EXPECT_TRUE(injector.node_alive(2));
+}
+
+TEST(FaultInjectorTest, SameEpochEventsApplyInScriptOrder) {
+  FaultInjector kill_then_revive(
+      3, FaultSchedule{}.KillNode(1, 2).ReviveNode(1, 2));
+  kill_then_revive.AdvanceTo(1);
+  EXPECT_TRUE(kill_then_revive.node_alive(2));
+
+  FaultInjector revive_then_kill(
+      3, FaultSchedule{}.ReviveNode(1, 2).KillNode(1, 2));
+  revive_then_kill.AdvanceTo(1);
+  EXPECT_FALSE(revive_then_kill.node_alive(2));
+}
+
+TEST(FaultInjectorTest, RootIsPinnedAlive) {
+  FaultInjector injector(4, FaultSchedule{}.KillNode(0, 2), /*root=*/2);
+  injector.AdvanceTo(0);
+  EXPECT_TRUE(injector.node_alive(2));
+  EXPECT_EQ(injector.num_dead(), 0);
+}
+
+TEST(FaultInjectorTest, OutOfRangeEventsAreIgnored) {
+  FaultInjector injector(3, FaultSchedule{}.KillNode(0, 7).KillNode(0, -1));
+  injector.AdvanceTo(0);
+  EXPECT_EQ(injector.num_dead(), 0);
+  for (int v = 0; v < 3; ++v) EXPECT_TRUE(injector.node_alive(v));
+}
+
+TEST(FaultInjectorTest, RemapFollowsSurvivorsAndDropsRemovedNodes) {
+  FaultSchedule schedule;
+  schedule.KillNode(0, 2).DegradeEdge(0, 4, 0.9);
+  schedule.KillNode(10, 5).KillNode(12, 2);  // pending after the rebuild
+  FaultInjector injector(6, schedule);
+  injector.AdvanceTo(0);
+  EXPECT_FALSE(injector.node_alive(2));
+  EXPECT_EQ(injector.num_dead(), 1);
+
+  // Rebuild removed node 2; everyone after it shifts down one id.
+  const std::vector<int> new_id = {0, 1, -1, 2, 3, 4};
+  injector.Remap(new_id, 5);
+  EXPECT_EQ(injector.num_nodes(), 5);
+  EXPECT_EQ(injector.num_dead(), 0);  // the dead node is gone entirely
+  for (int v = 0; v < 5; ++v) EXPECT_TRUE(injector.node_alive(v));
+  // The override followed old node 4 to its new id 3.
+  EXPECT_DOUBLE_EQ(injector.EdgeProbability(3, 0.1), 0.9);
+  EXPECT_DOUBLE_EQ(injector.EdgeProbability(4, 0.1), 0.1);
+
+  // Pending kill of old node 5 now hits new id 4 ...
+  injector.AdvanceTo(10);
+  EXPECT_FALSE(injector.node_alive(4));
+  EXPECT_EQ(injector.num_dead(), 1);
+  // ... while the pending kill of removed node 2 was dropped.
+  injector.AdvanceTo(12);
+  EXPECT_EQ(injector.num_dead(), 1);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace prospector

@@ -85,6 +85,37 @@ TEST(RebuildTest, CutVertexOrphansItsSubtree) {
   EXPECT_EQ(rebuilt->orphaned, (std::vector<int>{3, 4}));
 }
 
+TEST(RebuildTest, NonZeroRootIsPreserved) {
+  // Regression: the rebuild BFS used to start from node 0 regardless of
+  // where the root actually was. Root here is node 3, mid-array.
+  auto topo =
+      Topology::FromParents({1, 2, 3, Topology::kNoParent, 3, 4}).value();
+  std::vector<Point> pos;
+  for (int i = 0; i < 6; ++i) pos.push_back({10.0 * i, 0.0});
+  topo.set_positions(pos);
+  ASSERT_EQ(topo.root(), 3);
+
+  auto rebuilt = RebuildWithoutNodes(topo, {4}, /*radio_range=*/12.0);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  const Topology& nt = rebuilt->topology;
+
+  // The rebuilt tree is rooted at the old root's new id.
+  ASSERT_GE(rebuilt->new_id[3], 0);
+  EXPECT_EQ(nt.root(), rebuilt->new_id[3]);
+  EXPECT_EQ(nt.parent(nt.root()), Topology::kNoParent);
+  EXPECT_EQ(nt.depth(nt.root()), 0);
+
+  // Node 5's only link to the root ran through dead node 4 -> orphaned.
+  EXPECT_EQ(rebuilt->new_id[5], -1);
+  EXPECT_EQ(rebuilt->orphaned, (std::vector<int>{5}));
+
+  // Survivors form the min-hop chain 0-1-2-3 hanging off the root.
+  ASSERT_EQ(nt.num_nodes(), 4);
+  EXPECT_EQ(nt.depth(rebuilt->new_id[2]), 1);
+  EXPECT_EQ(nt.depth(rebuilt->new_id[1]), 2);
+  EXPECT_EQ(nt.depth(rebuilt->new_id[0]), 3);
+}
+
 TEST(RebuildTest, EndToEndReplanOnRebuiltNetwork) {
   // The Section 4.4 workflow: nodes die -> rebuild -> remap samples ->
   // re-optimize -> keep querying.

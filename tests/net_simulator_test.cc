@@ -132,6 +132,117 @@ TEST(SimulatorTest, NoFailuresByDefault) {
   EXPECT_EQ(sim.stats().reroutes, 0);
 }
 
+TEST(TransmissionStatsTest, AccumulateGrowsPerNodeEnergyToTheLargerLedger) {
+  TransmissionStats small;
+  small.per_node_energy_mj = {1.0, 2.0};
+  TransmissionStats big;
+  big.per_node_energy_mj = {0.5, 0.5, 3.0, 4.0};
+  TransmissionStats a = small;
+  a.Accumulate(big);
+  ASSERT_EQ(a.per_node_energy_mj.size(), 4u);
+  EXPECT_DOUBLE_EQ(a.per_node_energy_mj[0], 1.5);
+  EXPECT_DOUBLE_EQ(a.per_node_energy_mj[1], 2.5);
+  EXPECT_DOUBLE_EQ(a.per_node_energy_mj[2], 3.0);
+  EXPECT_DOUBLE_EQ(a.per_node_energy_mj[3], 4.0);
+}
+
+TEST(TransmissionStatsTest, AccumulateKeepsTailWhenOtherLedgerIsSmaller) {
+  TransmissionStats big;
+  big.per_node_energy_mj = {0.5, 0.5, 3.0, 4.0};
+  TransmissionStats small;
+  small.per_node_energy_mj = {1.0, 2.0};
+  big.Accumulate(small);
+  ASSERT_EQ(big.per_node_energy_mj.size(), 4u);
+  EXPECT_DOUBLE_EQ(big.per_node_energy_mj[0], 1.5);
+  EXPECT_DOUBLE_EQ(big.per_node_energy_mj[1], 2.5);
+  EXPECT_DOUBLE_EQ(big.per_node_energy_mj[2], 3.0);
+  EXPECT_DOUBLE_EQ(big.per_node_energy_mj[3], 4.0);
+}
+
+TEST(SimulatorTest, ReliableModeReroutesAndCountsThem) {
+  Topology topo = BuildChain(2);
+  NetworkSimulator sim(&topo, EnergyModel{}, FailureModel::Uniform(1.0, 2.5));
+  const double base = sim.energy_model().MessageCost(3);
+  const DeliveryResult r = sim.TryUnicast(1, 3);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_DOUBLE_EQ(r.energy_mj, base * 2.5);
+  EXPECT_EQ(sim.stats().reroutes, 1);
+  EXPECT_EQ(sim.stats().drops, 0);
+  EXPECT_EQ(sim.stats().values_transmitted, 3);
+}
+
+TEST(SimulatorTest, LossyTransportRetriesWithBackoffThenDrops) {
+  Topology topo = BuildChain(2);
+  NetworkSimulator sim(&topo, EnergyModel{}, FailureModel::Uniform(1.0));
+  LossyTransport lossy;
+  lossy.enabled = true;
+  lossy.max_retries = 2;
+  lossy.backoff_cost_growth = 1.5;
+  sim.set_lossy_transport(lossy);
+  const double base = sim.energy_model().MessageCost(4);
+  const DeliveryResult r = sim.TryUnicast(1, 4);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_NEAR(r.energy_mj, base * (1.0 + 1.5 + 2.25), 1e-12);
+  EXPECT_EQ(sim.stats().retries, 2);
+  EXPECT_EQ(sim.stats().drops, 1);
+  EXPECT_EQ(sim.stats().values_lost, 4);
+  EXPECT_EQ(sim.stats().values_transmitted, 0);
+  EXPECT_EQ(sim.stats().unicast_messages, 3);  // every attempt hit the air
+}
+
+TEST(SimulatorTest, LossyTransportDeliversFirstTryOnCleanEdge) {
+  Topology topo = BuildChain(2);
+  NetworkSimulator sim(&topo, EnergyModel{});  // failure-free network
+  LossyTransport lossy;
+  lossy.enabled = true;
+  sim.set_lossy_transport(lossy);
+  const DeliveryResult r = sim.TryUnicast(1, 2);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(sim.stats().retries, 0);
+  EXPECT_EQ(sim.stats().drops, 0);
+  EXPECT_EQ(sim.stats().values_transmitted, 2);
+}
+
+TEST(SimulatorTest, DeadEndpointDropsEvenInReliableMode) {
+  Topology topo = BuildChain(3);
+  FaultInjector injector(3, FaultSchedule{}.KillNode(0, 2));
+  injector.AdvanceTo(0);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  sim.set_fault_injector(&injector);
+  EXPECT_FALSE(sim.node_alive(2));
+  EXPECT_FALSE(sim.edge_usable(2));
+  EXPECT_TRUE(sim.edge_usable(1));
+  const DeliveryResult r = sim.TryUnicast(2, 5);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_GT(r.energy_mj, 0.0);  // the sender still paid for the attempt
+  EXPECT_EQ(sim.stats().drops, 1);
+  EXPECT_EQ(sim.stats().values_lost, 5);
+  EXPECT_EQ(sim.stats().values_transmitted, 0);
+}
+
+TEST(SimulatorTest, InjectorOverrideTrumpsBaseProbability) {
+  Topology topo = BuildChain(2);
+  FaultInjector injector(2, FaultSchedule{}.DegradeEdge(0, 1, 1.0));
+  injector.AdvanceTo(0);
+  NetworkSimulator sim(&topo, EnergyModel{},
+                       FailureModel::Uniform(0.0, 3.0));
+  sim.set_fault_injector(&injector);
+  const DeliveryResult r = sim.TryUnicast(1, 1);
+  EXPECT_TRUE(r.delivered);  // reliable mode re-routes
+  EXPECT_EQ(sim.stats().reroutes, 1);
+  EXPECT_DOUBLE_EQ(r.energy_mj, sim.energy_model().MessageCost(1) * 3.0);
+}
+
+TEST(SimulatorDeathTest, RejectsPartialFailureVectorAtConstruction) {
+  Topology topo = BuildChain(4);
+  FailureModel partial;
+  partial.edge_failure_prob = {0.1, 0.2};  // covers 2 of 4 nodes
+  EXPECT_DEATH(NetworkSimulator(&topo, EnergyModel{}, partial),
+               "FailureModel covers");
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace prospector
