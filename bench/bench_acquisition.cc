@@ -15,9 +15,9 @@ namespace {
 
 constexpr int kTop = 10;
 constexpr double kBudgetMj = 14.0;
-constexpr int kQueryEpochs = 60;
 
 void Run() {
+  const int query_epochs = bench::QueryEpochs(60);
   data::ContentionZoneOptions opts;
   opts.num_zones = 6;
   opts.nodes_per_zone = kTop;
@@ -35,7 +35,11 @@ void Run() {
   std::printf("Acquisition-cost ablation (contention workload, k=%d, "
               "budget=%.0f mJ)\n",
               kTop, kBudgetMj);
-  bench::PrintHeader("LP+LF under rising sensing cost",
+  bench::BenchJson json("acquisition");
+  json.Meta("k", kTop)
+      .Meta("budget_mj", kBudgetMj)
+      .Meta("query_epochs", query_epochs);
+  bench::TableHeader(&json, "LP+LF under rising sensing cost",
                      {"acq_mJ", "visited", "energy_mJ", "accuracy_pct"});
 
   for (double acq : {0.0, 0.1, 0.2, 0.4, 0.8}) {
@@ -46,10 +50,11 @@ void Run() {
     auto plan = planner.Plan(ctx, samples, core::PlanRequest{kTop, kBudgetMj});
     if (!plan.ok()) continue;
     bench::EvalResult r = bench::EvaluatePlan(*plan, topo, ctx.energy,
-                                              truth_fn, kQueryEpochs, 182);
-    bench::PrintRow({acq, double(plan->CountVisitedNodes(topo)),
-                     r.avg_energy_mj, 100.0 * r.avg_accuracy});
+                                              truth_fn, query_epochs, 182);
+    bench::TableRow(&json, {acq, double(plan->CountVisitedNodes(topo)),
+                            r.avg_energy_mj, 100.0 * r.avg_accuracy});
   }
+  json.Write();
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "bench/bench_util.h"
 #include "src/net/energy_model.h"
 
 namespace prospector {
@@ -20,11 +21,20 @@ void Run() {
   std::printf("%-34s %10.4f mJ\n", "per-value cost (c_v)", e.PerValueCost());
   std::printf("%-34s %10.4f mJ\n", "empty trigger broadcast",
               e.BroadcastCost());
+  bench::BenchJson json("cost_model");
+  json.Meta("per_message_mj", e.per_message_mj)
+      .Meta("per_byte_mj", e.per_byte_mj)
+      .Meta("bytes_per_value", e.bytes_per_value)
+      .Meta("per_value_mj", e.PerValueCost())
+      .Meta("broadcast_mj", e.BroadcastCost());
+  json.Columns({"values", "cost_mJ"});
   std::printf("\nmessage cost by payload:\n");
   std::printf("%12s %12s\n", "values", "cost_mJ");
   for (int v : {0, 1, 2, 5, 10, 20, 50}) {
     std::printf("%12d %12.4f\n", v, e.MessageCost(v));
+    json.Row({double(v), e.MessageCost(v)});
   }
+  json.Write();
   std::printf("\nc_m / c_v ratio: %.1f — contacting a node dominates small "
               "messages,\nwhich is what makes approximate node-subset plans "
               "pay off;\nvalue transport stays non-negligible, which is what "

@@ -30,7 +30,9 @@ void Run() {
   ctx.topology = &topo;
 
   std::printf("Distribution-phase costs (n=%d, k=%d)\n", kNodes, kTop);
-  bench::PrintHeader("install vs trigger vs collection",
+  bench::BenchJson json("distribution_cost");
+  json.Meta("nodes", kNodes).Meta("k", kTop);
+  bench::TableHeader(&json, "install vs trigger vs collection",
                      {"budget_mJ", "install_mJ", "trigger_mJ",
                       "collection_mJ", "amortized_10x", "amortized_100x"});
 
@@ -45,8 +47,10 @@ void Run() {
     const double collect = core::ExpectedCollectionCost(*plan, sim);
     const double per_query10 = (install + 10 * (trigger + collect)) / 10;
     const double per_query100 = (install + 100 * (trigger + collect)) / 100;
-    bench::PrintRow({b, install, trigger, collect, per_query10, per_query100});
+    bench::TableRow(&json,
+                    {b, install, trigger, collect, per_query10, per_query100});
   }
+  json.Write();
 
   std::printf("\nFull-sweep sampling cost (exploration step): one sample "
               "costs as much as a NAIVE-n collection;\nwith 25 samples "

@@ -14,10 +14,10 @@ namespace {
 
 constexpr int kNodes = 80;
 constexpr int kTop = 10;
-constexpr int kQueryEpochs = 200;
 constexpr double kBudgetMj = 12.0;
 
 void Run() {
+  const int query_epochs = bench::QueryEpochs(200);
   Rng rng(111);
   net::GeometricNetworkOptions geo;
   geo.num_nodes = kNodes;
@@ -29,7 +29,7 @@ void Run() {
   for (int s = 0; s < 25; ++s) samples.Add(field.Sample(&rng));
 
   std::printf("Failure ablation (n=%d, k=%d, budget=%.1f mJ, %d epochs)\n",
-              kNodes, kTop, kBudgetMj, kQueryEpochs);
+              kNodes, kTop, kBudgetMj, query_epochs);
   bench::PrintHeader("failure-aware vs failure-blind planning",
                      {"fail_prob", "aware_mJ", "aware_pct", "blind_mJ",
                       "blind_pct"});
@@ -37,7 +37,7 @@ void Run() {
   json.Meta("nodes", kNodes)
       .Meta("k", kTop)
       .Meta("budget_mj", kBudgetMj)
-      .Meta("epochs", kQueryEpochs)
+      .Meta("epochs", query_epochs)
       .Columns({"fail_prob", "aware_energy_mj", "aware_recall",
                 "blind_energy_mj", "blind_recall"});
 
@@ -63,10 +63,10 @@ void Run() {
 
     // Both execute in the same failing world.
     bench::EvalResult aware = bench::EvaluatePlan(
-        *aware_plan, topo, aware_ctx.energy, truth_fn, kQueryEpochs, 112,
+        *aware_plan, topo, aware_ctx.energy, truth_fn, query_epochs, 112,
         failures);
     bench::EvalResult blind = bench::EvaluatePlan(
-        *blind_plan, topo, blind_ctx.energy, truth_fn, kQueryEpochs, 112,
+        *blind_plan, topo, blind_ctx.energy, truth_fn, query_epochs, 112,
         failures);
     bench::PrintRow({p, aware.avg_energy_mj, 100.0 * aware.avg_accuracy,
                      blind.avg_energy_mj, 100.0 * blind.avg_accuracy});

@@ -13,13 +13,13 @@
 #include "bench/bench_util.h"
 #include "src/core/session.h"
 #include "src/data/gaussian_field.h"
+#include "src/obs/trace.h"
 
 namespace prospector {
 namespace {
 
 constexpr int kNodes = 60;
 constexpr int kTop = 5;
-constexpr int kEpochs = 60;
 constexpr int kKillEpoch = 24;
 constexpr int kDeadAfter = 3;
 constexpr int kBootstrap = 8;
@@ -41,7 +41,7 @@ double Recall(const std::vector<core::Reading>& answer,
 
 void RunTimeline(const char* title, net::LossyTransport lossy,
                  net::FailureModel failures, bench::BenchJson* json,
-                 double scenario_id) {
+                 double scenario_id, int epochs) {
   Rng rng(211);
   net::GeometricNetworkOptions geo;
   geo.num_nodes = kNodes;
@@ -85,7 +85,7 @@ void RunTimeline(const char* title, net::LossyTransport lossy,
   Rng truth_rng(212);
   int rebuild_epoch = -1;
   RunningStats pre, dark, post;
-  for (int e = 0; e < kEpochs; ++e) {
+  for (int e = 0; e < epochs; ++e) {
     const std::vector<double> truth = field.Sample(&truth_rng);
     auto tick = session.Tick(truth);
     if (!tick.ok()) {
@@ -125,12 +125,16 @@ void RunTimeline(const char* title, net::LossyTransport lossy,
 }
 
 void Run() {
+  const int epochs = bench::QueryEpochs(60);
   std::printf("Fault recovery timeline (n=%d, k=%d, kill@%d, watchdog=%d)\n",
               kNodes, kTop, kKillEpoch, kDeadAfter);
+  // Every span the sessions open below lands in TRACE_fault_recovery.json,
+  // loadable in chrome://tracing (or ui.perfetto.dev).
+  obs::Tracer::Global().Enable();
   bench::BenchJson json("fault_recovery");
   json.Meta("nodes", kNodes)
       .Meta("k", kTop)
-      .Meta("epochs", kEpochs)
+      .Meta("epochs", epochs)
       .Meta("kill_epoch", kKillEpoch)
       .Meta("dead_after_epochs", kDeadAfter)
       .Columns({"scenario", "epoch", "recall_full", "recall_survivors",
@@ -138,7 +142,7 @@ void Run() {
 
   // Scenario 0: clean transport; the only fault is the scripted death.
   RunTimeline("clean transport + node death", net::LossyTransport{},
-              net::FailureModel{}, &json, 0.0);
+              net::FailureModel{}, &json, 0.0, epochs);
 
   // Scenario 1: the same death under lossy transport (p=0.3, 2 retries) —
   // answers degrade gracefully instead of the protocol collapsing.
@@ -147,9 +151,13 @@ void Run() {
   lossy.max_retries = 2;
   lossy.backoff_cost_growth = 1.5;
   RunTimeline("lossy transport (p=0.3) + node death", lossy,
-              net::FailureModel::Uniform(0.3), &json, 1.0);
+              net::FailureModel::Uniform(0.3), &json, 1.0, epochs);
 
   json.Write();
+  obs::Tracer::Global().Disable();
+  if (obs::Tracer::Global().WriteChromeTrace("TRACE_fault_recovery.json")) {
+    std::printf("wrote TRACE_fault_recovery.json\n");
+  }
 }
 
 }  // namespace

@@ -28,9 +28,9 @@ namespace {
 constexpr int kNodes = 100;
 constexpr int kTop = 10;
 constexpr int kSamples = 25;
-constexpr int kQueryEpochs = 40;
 
 void Run(int threads) {
+  const int query_epochs = bench::QueryEpochs(40);
   Rng rng(20060403);
   net::GeometricNetworkOptions geo;
   geo.num_nodes = kNodes;
@@ -48,7 +48,13 @@ void Run(int threads) {
 
   std::printf("Figure 3: comparison of algorithms (n=%d, k=%d, S=%d, %d query "
               "epochs)\n",
-              kNodes, kTop, kSamples, kQueryEpochs);
+              kNodes, kTop, kSamples, query_epochs);
+  bench::BenchJson json("fig3_comparison");
+  json.Meta("nodes", kNodes)
+      .Meta("k", kTop)
+      .Meta("samples", kSamples)
+      .Meta("query_epochs", query_epochs)
+      .Meta("threads", threads);
 
   // ---- Approximate planners over an energy-budget sweep. ----
   // The budget points are independent LP/greedy solves, so they all go
@@ -78,7 +84,8 @@ void Run(int threads) {
        [] { return std::make_unique<core::LpFilterPlanner>(); }},
   };
   for (const Algo& algo : algos) {
-    bench::PrintHeader(algo.name, {"budget_mJ", "energy_mJ", "accuracy_pct"});
+    bench::TableHeader(&json, algo.name,
+                       {"budget_mJ", "energy_mJ", "accuracy_pct"});
     const auto plans =
         core::PlanSweep(algo.factory, ctx, samples, requests, pool.get());
     for (size_t i = 0; i < plans.size(); ++i) {
@@ -88,18 +95,20 @@ void Run(int threads) {
         continue;
       }
       bench::EvalResult r = bench::EvaluatePlan(
-          *plans[i], topo, ctx.energy, truth_fn, kQueryEpochs, 555);
-      bench::PrintRow({budgets[i], r.avg_energy_mj, 100.0 * r.avg_accuracy});
+          *plans[i], topo, ctx.energy, truth_fn, query_epochs, 555);
+      bench::TableRow(&json,
+                      {budgets[i], r.avg_energy_mj, 100.0 * r.avg_accuracy});
     }
   }
 
   // ---- ORACLE: replans per epoch with known top-k' locations; accuracy is
   // varied through k' as the paper does for exact algorithms. ----
-  bench::PrintHeader("Oracle", {"k_prime", "energy_mJ", "accuracy_pct"});
+  bench::TableHeader(&json, "Oracle",
+                     {"k_prime", "energy_mJ", "accuracy_pct"});
   for (int kp = 1; kp <= kTop; ++kp) {
     Rng qrng(777);
     RunningStats joule;
-    for (int q = 0; q < kQueryEpochs; ++q) {
+    for (int q = 0; q < query_epochs; ++q) {
       const std::vector<double> truth = field.Sample(&qrng);
       core::QueryPlan plan = core::MakeOraclePlan(topo, truth, kp);
       net::NetworkSimulator sim(&topo, ctx.energy);
@@ -107,31 +116,34 @@ void Run(int threads) {
           core::CollectionExecutor::Execute(plan, truth, &sim);
       joule.Add(r.total_energy_mj());
     }
-    bench::PrintRow({double(kp), joule.mean(), 100.0 * kp / kTop});
+    bench::TableRow(&json, {double(kp), joule.mean(), 100.0 * kp / kTop});
   }
 
   // ---- NAIVE-k with varying k'. ----
-  bench::PrintHeader("Naive-k", {"k_prime", "energy_mJ", "accuracy_pct"});
+  bench::TableHeader(&json, "Naive-k",
+                     {"k_prime", "energy_mJ", "accuracy_pct"});
   for (int kp = 1; kp <= kTop; ++kp) {
     core::QueryPlan plan = core::MakeNaiveKPlan(topo, kp);
     bench::EvalResult r = bench::EvaluatePlan(plan, topo, ctx.energy, truth_fn,
-                                              kQueryEpochs, 888);
-    bench::PrintRow({double(kp), r.avg_energy_mj, 100.0 * kp / kTop});
+                                              query_epochs, 888);
+    bench::TableRow(&json, {double(kp), r.avg_energy_mj, 100.0 * kp / kTop});
   }
 
   // ---- NAIVE-1, reported textually as in the paper. ----
-  bench::PrintHeader("Naive-1", {"k_prime", "energy_mJ", "accuracy_pct"});
+  bench::TableHeader(&json, "Naive-1",
+                     {"k_prime", "energy_mJ", "accuracy_pct"});
   for (int kp = 1; kp <= kTop; ++kp) {
     Rng qrng(999);
     RunningStats joule;
-    for (int q = 0; q < kQueryEpochs; ++q) {
+    for (int q = 0; q < query_epochs; ++q) {
       const std::vector<double> truth = field.Sample(&qrng);
       net::NetworkSimulator sim(&topo, ctx.energy);
       core::Naive1Result r = core::Naive1Executor::Execute(truth, kp, &sim);
       joule.Add(r.energy_mj);
     }
-    bench::PrintRow({double(kp), joule.mean(), 100.0 * kp / kTop});
+    bench::TableRow(&json, {double(kp), joule.mean(), 100.0 * kp / kTop});
   }
+  json.Write();
   std::printf("\n(Naive-1's cost at k'=1 should already rival Naive-k at "
               "k'=%d, growing linearly with k'.)\n",
               kTop);

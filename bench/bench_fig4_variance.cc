@@ -22,10 +22,10 @@ namespace {
 constexpr int kNodes = 80;
 constexpr int kTop = 10;
 constexpr int kSamples = 25;
-constexpr int kQueryEpochs = 40;
 constexpr double kBudgetMj = 10.0;
 
 void Run() {
+  const int query_epochs = bench::QueryEpochs(40);
   Rng rng(41);
   net::GeometricNetworkOptions geo;
   geo.num_nodes = kNodes;
@@ -36,7 +36,13 @@ void Run() {
 
   std::printf("Figure 4: effect of variance (n=%d, k=%d, budget=%.1f mJ)\n",
               kNodes, kTop, kBudgetMj);
-  bench::PrintHeader("accuracy vs variance",
+  bench::BenchJson json("fig4_variance");
+  json.Meta("nodes", kNodes)
+      .Meta("k", kTop)
+      .Meta("samples", kSamples)
+      .Meta("budget_mj", kBudgetMj)
+      .Meta("query_epochs", query_epochs);
+  bench::TableHeader(&json, "accuracy vs variance",
                      {"variance", "LP+LF_pct", "LP-LF_pct"});
 
   const std::vector<double> variances{0.05, 0.5, 1, 2, 4, 6, 8, 10, 12, 14,
@@ -53,15 +59,17 @@ void Run() {
     core::LpNoFilterPlanner without;
     bench::EvalResult rw, ro;
     const bool ok1 = bench::PlanAndEvaluate(&with, ctx, samples, kTop,
-                                            kBudgetMj, truth_fn, kQueryEpochs,
+                                            kBudgetMj, truth_fn, query_epochs,
                                             42, &rw);
     const bool ok2 = bench::PlanAndEvaluate(&without, ctx, samples, kTop,
-                                            kBudgetMj, truth_fn, kQueryEpochs,
+                                            kBudgetMj, truth_fn, query_epochs,
                                             42, &ro);
     if (ok1 && ok2) {
-      bench::PrintRow({var, 100.0 * rw.avg_accuracy, 100.0 * ro.avg_accuracy});
+      bench::TableRow(
+          &json, {var, 100.0 * rw.avg_accuracy, 100.0 * ro.avg_accuracy});
     }
   }
+  json.Write();
 }
 
 }  // namespace

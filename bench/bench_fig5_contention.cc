@@ -20,9 +20,9 @@ namespace {
 
 constexpr int kTop = 10;
 constexpr int kSamples = 25;
-constexpr int kQueryEpochs = 40;
 
 void Run() {
+  const int query_epochs = bench::QueryEpochs(40);
   data::ContentionZoneOptions opts;
   opts.num_zones = 6;
   opts.nodes_per_zone = kTop;
@@ -44,7 +44,14 @@ void Run() {
   std::printf("Figure 5: contention zones (%d zones x %d nodes + %d "
               "background, k=%d)\n",
               opts.num_zones, opts.nodes_per_zone, opts.num_background, kTop);
-  bench::PrintHeader("accuracy vs energy",
+  bench::BenchJson json("fig5_contention");
+  json.Meta("zones", opts.num_zones)
+      .Meta("nodes_per_zone", opts.nodes_per_zone)
+      .Meta("background", opts.num_background)
+      .Meta("k", kTop)
+      .Meta("samples", kSamples)
+      .Meta("query_epochs", query_epochs);
+  bench::TableHeader(&json, "accuracy vs energy",
                      {"budget_mJ", "LP+LF_mJ", "LP+LF_pct", "LP-LF_mJ",
                       "LP-LF_pct"});
 
@@ -53,14 +60,16 @@ void Run() {
     core::LpNoFilterPlanner without;
     bench::EvalResult rw, ro;
     const bool ok1 = bench::PlanAndEvaluate(&with, ctx, samples, kTop, b,
-                                            truth_fn, kQueryEpochs, 52, &rw);
+                                            truth_fn, query_epochs, 52, &rw);
     const bool ok2 = bench::PlanAndEvaluate(&without, ctx, samples, kTop, b,
-                                            truth_fn, kQueryEpochs, 52, &ro);
+                                            truth_fn, query_epochs, 52, &ro);
     if (ok1 && ok2) {
-      bench::PrintRow({b, rw.avg_energy_mj, 100.0 * rw.avg_accuracy,
+      bench::TableRow(&json,
+                      {b, rw.avg_energy_mj, 100.0 * rw.avg_accuracy,
                        ro.avg_energy_mj, 100.0 * ro.avg_accuracy});
     }
   }
+  json.Write();
 }
 
 }  // namespace

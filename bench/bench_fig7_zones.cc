@@ -20,14 +20,19 @@ namespace {
 
 constexpr int kTop = 10;
 constexpr int kSamples = 25;
-constexpr int kQueryEpochs = 40;
 constexpr double kBudgetMj = 10.0;
 
 void Run() {
+  const int query_epochs = bench::QueryEpochs(40);
   std::printf("Figure 7: varying number of contention zones "
               "(k=%d, budget=%.1f mJ)\n",
               kTop, kBudgetMj);
-  bench::PrintHeader("accuracy vs #zones",
+  bench::BenchJson json("fig7_zones");
+  json.Meta("k", kTop)
+      .Meta("samples", kSamples)
+      .Meta("budget_mj", kBudgetMj)
+      .Meta("query_epochs", query_epochs);
+  bench::TableHeader(&json, "accuracy vs #zones",
                      {"zones", "LP+LF_pct", "LP-LF_pct"});
 
   for (int zones = 1; zones <= 6; ++zones) {
@@ -65,15 +70,16 @@ void Run() {
     bench::EvalResult rw, ro;
     const bool ok1 =
         bench::PlanAndEvaluate(&with, ctx, samples, kTop, kBudgetMj, truth_fn,
-                               kQueryEpochs, 71, &rw);
+                               query_epochs, 71, &rw);
     const bool ok2 =
         bench::PlanAndEvaluate(&without, ctx, samples, kTop, kBudgetMj,
-                               truth_fn, kQueryEpochs, 71, &ro);
+                               truth_fn, query_epochs, 71, &ro);
     if (ok1 && ok2) {
-      bench::PrintRow({double(zones), 100.0 * rw.avg_accuracy,
-                       100.0 * ro.avg_accuracy});
+      bench::TableRow(&json, {double(zones), 100.0 * rw.avg_accuracy,
+                              100.0 * ro.avg_accuracy});
     }
   }
+  json.Write();
 }
 
 }  // namespace

@@ -25,9 +25,9 @@ namespace {
 constexpr int kNodes = 50;
 constexpr int kTop = 10;
 constexpr int kSamples = 10;
-constexpr int kQueryEpochs = 25;
 
 void Run() {
+  const int query_epochs = bench::QueryEpochs(25);
   Rng rng(81);
   net::GeometricNetworkOptions geo;
   geo.num_nodes = kNodes;
@@ -45,7 +45,7 @@ void Run() {
   // ---- Baselines (fixed horizontal lines in the figure). ----
   Rng qrng(82);
   RunningStats naive_cost, oracle_proof_cost;
-  for (int q = 0; q < kQueryEpochs; ++q) {
+  for (int q = 0; q < query_epochs; ++q) {
     const std::vector<double> truth = field.Sample(&qrng);
     {
       net::NetworkSimulator sim(&topo, ctx.energy);
@@ -64,7 +64,7 @@ void Run() {
 
   std::printf("Figure 8: PROSPECTOR Exact (n=%d, k=%d, S=%d, %d query "
               "epochs)\n",
-              kNodes, kTop, kSamples, kQueryEpochs);
+              kNodes, kTop, kSamples, query_epochs);
   std::printf("Naive-k cost:      %8.3f mJ (horizontal line)\n",
               naive_cost.mean());
   std::printf("OracleProof cost:  %8.3f mJ (horizontal line)\n",
@@ -73,7 +73,15 @@ void Run() {
   const double floor = core::ProofPlanner::MinimumCost(ctx);
   std::printf("proof-plan floor:  %8.3f mJ\n", floor);
 
-  bench::PrintHeader("PROSPECTOR Exact phase breakdown",
+  bench::BenchJson json("fig8_exact");
+  json.Meta("nodes", kNodes)
+      .Meta("k", kTop)
+      .Meta("samples", kSamples)
+      .Meta("query_epochs", query_epochs)
+      .Meta("naive_k_mj", naive_cost.mean())
+      .Meta("oracle_proof_mj", oracle_proof_cost.mean())
+      .Meta("proof_floor_mj", floor);
+  bench::TableHeader(&json, "PROSPECTOR Exact phase breakdown",
                      {"trial", "p1_budget_mJ", "phase1_mJ", "phase2_mJ",
                       "total_mJ", "p1_proven"});
 
@@ -94,7 +102,7 @@ void Run() {
     }
     Rng erng(83);
     RunningStats p1, p2, proven;
-    for (int q = 0; q < kQueryEpochs; ++q) {
+    for (int q = 0; q < query_epochs; ++q) {
       const std::vector<double> truth = field.Sample(&erng);
       net::NetworkSimulator sim(&topo, ctx.energy);
       core::ProofExecutor exec(&plan.value(), &sim);
@@ -112,10 +120,11 @@ void Run() {
         p2.Add(0.0);
       }
     }
-    bench::PrintRow({double(trial), p1_budget, p1.mean(), p2.mean(),
-                     p1.mean() + p2.mean(), proven.mean()});
+    bench::TableRow(&json, {double(trial), p1_budget, p1.mean(), p2.mean(),
+                            p1.mean() + p2.mean(), proven.mean()});
     ++trial;
   }
+  json.Write();
 }
 
 }  // namespace

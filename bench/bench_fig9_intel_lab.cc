@@ -23,11 +23,11 @@ namespace {
 
 constexpr int kTop = 5;
 constexpr int kSampleEpochs = 50;
-constexpr int kQueryEpochs = 100;
 
 void Run() {
+  const int query_epochs = bench::QueryEpochs(100);
   data::LabTraceOptions opts;
-  opts.num_epochs = kSampleEpochs + kQueryEpochs;
+  opts.num_epochs = kSampleEpochs + query_epochs;
   Rng rng(91);
   auto built = data::BuildLabScenario(opts, &rng);
   if (!built.ok()) {
@@ -48,6 +48,11 @@ void Run() {
   std::printf("Figure 9: Intel-Lab-style trace (54 motes, tree height %d, "
               "k=%d, %d sample epochs)\n",
               topo.height(), kTop, kSampleEpochs);
+  bench::BenchJson json("fig9_intel_lab");
+  json.Meta("nodes", n)
+      .Meta("k", kTop)
+      .Meta("sample_epochs", kSampleEpochs)
+      .Meta("query_epochs", query_epochs);
 
   // Queries replay the trace after the sample window.
   auto evaluate = [&](const core::QueryPlan& plan) {
@@ -68,7 +73,8 @@ void Run() {
   core::LpFilterPlanner lp_lf;
   core::Planner* planners[] = {&greedy, &lp_no_lf, &lp_lf};
   for (core::Planner* p : planners) {
-    bench::PrintHeader(p->name(), {"budget_mJ", "energy_mJ", "accuracy_pct"});
+    bench::TableHeader(&json, p->name(),
+                       {"budget_mJ", "energy_mJ", "accuracy_pct"});
     for (double b : {1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 7.0, 9.0}) {
       core::PlanRequest req;
       req.k = kTop;
@@ -80,12 +86,14 @@ void Run() {
         continue;
       }
       auto [joule, acc] = evaluate(*plan);
-      bench::PrintRow({b, joule, 100.0 * acc});
+      bench::TableRow(&json, {b, joule, 100.0 * acc});
     }
   }
 
   // NAIVE-k reference cost at full accuracy.
   auto [nk_joule, nk_acc] = evaluate(core::MakeNaiveKPlan(topo, kTop));
+  json.Meta("naive_k_mj", nk_joule).Meta("naive_k_accuracy", nk_acc);
+  json.Write();
   std::printf("\nNaive-k: %.3f mJ at %.1f%% accuracy (the approximate plans "
               "above should reach ~100%% for roughly a third of that)\n",
               nk_joule, 100.0 * nk_acc);

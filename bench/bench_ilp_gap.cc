@@ -71,7 +71,9 @@ void Run() {
   std::printf("LP rounding vs exact ILP on the LP-LF program "
               "(n=%d, k=%d, S=%d)\n",
               kNodes, kTop, kSamples);
-  bench::PrintHeader("sample hits by method",
+  bench::BenchJson json("ilp_gap");
+  json.Meta("nodes", kNodes).Meta("k", kTop).Meta("samples", kSamples);
+  bench::TableHeader(&json, "sample hits by method",
                      {"budget_mJ", "lp_relax_ub", "rounded_hits", "ilp_hits",
                       "bnb_nodes"});
 
@@ -98,10 +100,11 @@ void Run() {
     for (int j = 0; j < samples.num_samples(); ++j) {
       root_ones += samples.Contributes(j, topo.root());
     }
-    bench::PrintRow({b, planner.last_lp_objective() + root_ones,
-                     double(rounded_hits), ilp->objective + root_ones,
-                     double(ilp->nodes_explored)});
+    bench::TableRow(&json, {b, planner.last_lp_objective() + root_ones,
+                            double(rounded_hits), ilp->objective + root_ones,
+                            double(ilp->nodes_explored)});
   }
+  json.Write();
   std::printf("\n(rounded_hits should sit close to ilp_hits, both below the "
               "fractional upper bound.)\n");
 }

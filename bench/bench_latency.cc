@@ -21,7 +21,9 @@ constexpr int kTop = 10;
 void Run() {
   std::printf("Collection-phase latency (generic MAC timing; extension "
               "beyond the paper)\n");
-  bench::PrintHeader("latency by plan",
+  bench::BenchJson json("latency");
+  json.Meta("k", kTop);
+  bench::TableHeader(&json, "latency by plan",
                      {"nodes", "naivek_s", "lp_lf_tight_s", "lp_lf_rich_s",
                       "cluster_agg_s"});
 
@@ -73,13 +75,15 @@ void Run() {
     }
     core::QueryPlan agg = core::QueryPlan::Bandwidth(kTop, agg_bw);
 
-    bench::PrintRow(
+    bench::TableRow(
+        &json,
         {double(n),
          core::EstimateCollectionLatency(naive, topo, ctx.energy, timing),
          core::EstimateCollectionLatency(*tight, topo, ctx.energy, timing),
          core::EstimateCollectionLatency(*rich, topo, ctx.energy, timing),
          core::EstimateCollectionLatency(agg, topo, ctx.energy, timing)});
   }
+  json.Write();
 }
 
 }  // namespace

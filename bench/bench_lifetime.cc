@@ -20,8 +20,8 @@ constexpr int kNodes = 100;
 constexpr int kTop = 10;
 constexpr double kBatteryMj = 2.0e5;  // ~2 AA-hours of radio at MICA2 rates
 
-void Report(const char* name, const core::QueryPlan& plan,
-            const net::NetworkSimulator& sim,
+void Report(bench::BenchJson* json, const char* name,
+            const core::QueryPlan& plan, const net::NetworkSimulator& sim,
             const core::BatteryModel& batteries) {
   const auto load = core::ExpectedPerNodeEnergy(plan, sim);
   double max_load = 0.0, sum = 0.0;
@@ -35,6 +35,10 @@ void Report(const char* name, const core::QueryPlan& plan,
   std::printf("%12s %10.2f %10.4f %12.0f %14.0f %10d\n", name, sum, max_load,
               est.queries_until_first_death, est.queries_until_partition,
               loaded);
+  json->Section(name, {"sum_mJ_per_q", "max_mJ_per_q", "first_death",
+                       "partition", "nodes_used"});
+  json->Row({sum, max_load, est.queries_until_first_death,
+             est.queries_until_partition, double(loaded)});
 }
 
 void Run() {
@@ -58,7 +62,9 @@ void Run() {
   std::printf("%12s %10s %10s %12s %14s %10s\n", "plan", "sum_mJ/q",
               "max_mJ/q", "first_death", "partition", "nodes_used");
 
-  Report("naive-k", core::MakeNaiveKPlan(topo, kTop), sim, batteries);
+  bench::BenchJson json("lifetime");
+  json.Meta("nodes", kNodes).Meta("k", kTop).Meta("battery_mj", kBatteryMj);
+  Report(&json, "naive-k", core::MakeNaiveKPlan(topo, kTop), sim, batteries);
 
   core::LpFilterPlanner planner;
   for (double b : {8.0, 16.0}) {
@@ -66,11 +72,13 @@ void Run() {
     if (plan.ok()) {
       char name[32];
       std::snprintf(name, sizeof(name), "lp+lf@%.0fmJ", b);
-      Report(name, *plan, sim, batteries);
+      Report(&json, name, *plan, sim, batteries);
     }
   }
   const std::vector<double> truth = field.Sample(&rng);
-  Report("oracle", core::MakeOraclePlan(topo, truth, kTop), sim, batteries);
+  Report(&json, "oracle", core::MakeOraclePlan(topo, truth, kTop), sim,
+         batteries);
+  json.Write();
 
   std::printf("\n(partition = first death that silences live demand below "
               "it; re-planning on the rebuilt tree — net/rebuild.h — would "

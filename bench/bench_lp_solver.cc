@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "src/core/greedy_planner.h"
 #include "src/core/lp_filter_planner.h"
 #include "src/core/lp_no_filter_planner.h"
@@ -111,4 +115,25 @@ BENCHMARK(BM_PlanGreedyBaseline)->Arg(100)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace prospector
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with one addition: unless the caller passed their own
+// --benchmark_out, default to the repo-wide machine-readable artifact
+// convention (BENCH_<name>.json, google-benchmark's JSON schema).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out = "--benchmark_out=BENCH_lp_solver.json";
+  std::string fmt = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out.data());
+    args.push_back(fmt.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

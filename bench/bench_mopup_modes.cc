@@ -19,9 +19,9 @@ namespace {
 
 constexpr int kNodes = 50;
 constexpr int kTop = 10;
-constexpr int kQueryEpochs = 30;
 
 void Run() {
+  const int query_epochs = bench::QueryEpochs(30);
   Rng rng(131);
   net::GeometricNetworkOptions geo;
   geo.num_nodes = kNodes;
@@ -37,7 +37,9 @@ void Run() {
   const double floor = core::ProofPlanner::MinimumCost(ctx);
 
   std::printf("Mop-up request modes (n=%d, k=%d)\n", kNodes, kTop);
-  bench::PrintHeader("phase-2 energy by request mode",
+  bench::BenchJson json("mopup_modes");
+  json.Meta("nodes", kNodes).Meta("k", kTop).Meta("query_epochs", query_epochs);
+  bench::TableHeader(&json, "phase-2 energy by request mode",
                      {"p1_budget_mJ", "broadcast_mJ", "perchild_mJ",
                       "bcast_msgs", "pc_msgs"});
 
@@ -52,7 +54,7 @@ void Run() {
     double e_bcast = 0, e_pc = 0;
     int m_bcast = 0, m_pc = 0;
     Rng erng(132);
-    for (int q = 0; q < kQueryEpochs; ++q) {
+    for (int q = 0; q < query_epochs; ++q) {
       const std::vector<double> truth = field.Sample(&erng);
       {
         net::NetworkSimulator sim(&topo, ctx.energy);
@@ -77,11 +79,12 @@ void Run() {
                 (sim.stats().broadcast_messages - before.broadcast_messages);
       }
     }
-    bench::PrintRow({req.energy_budget_mj, e_bcast / kQueryEpochs,
-                     e_pc / kQueryEpochs,
-                     double(m_bcast) / kQueryEpochs,
-                     double(m_pc) / kQueryEpochs});
+    bench::TableRow(&json, {req.energy_budget_mj, e_bcast / query_epochs,
+                            e_pc / query_epochs,
+                            double(m_bcast) / query_epochs,
+                            double(m_pc) / query_epochs});
   }
+  json.Write();
 }
 
 }  // namespace

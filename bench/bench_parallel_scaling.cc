@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/core/lp_filter_planner.h"
 #include "src/core/lp_no_filter_planner.h"
 #include "src/core/plan_eval.h"
@@ -180,27 +181,19 @@ void Run() {
                 100.0 * speedup / threads);
   }
 
-  std::FILE* f = std::fopen("BENCH_parallel_scaling.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_parallel_scaling.json\n");
-    std::abort();
+  bench::BenchJson json("parallel_scaling");
+  json.Meta("nodes", kNodes)
+      .Meta("k", kTop)
+      .Meta("samples", kSamples)
+      .Meta("repeats", kRepeats)
+      .Meta("hardware_threads", util::ThreadPool::HardwareThreads())
+      .Meta("bit_identical", 1)
+      .Columns({"threads", "best_ms", "speedup"});
+  for (const Row& r : rows) {
+    json.Row({double(r.threads), r.best_ms, r.speedup});
   }
-  std::fprintf(f,
-               "{\n  \"workload\": {\"nodes\": %d, \"k\": %d, \"samples\": %d,"
-               " \"repeats\": %d},\n  \"hardware_threads\": %d,\n"
-               "  \"bit_identical\": true,\n  \"results\": [\n",
-               kNodes, kTop, kSamples, kRepeats,
-               util::ThreadPool::HardwareThreads());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"threads\": %d, \"best_ms\": %.3f, \"speedup\": %.3f}%s\n",
-                 rows[i].threads, rows[i].best_ms, rows[i].speedup,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote BENCH_parallel_scaling.json (all thread counts "
-              "bit-identical to serial)\n");
+  json.Write();
+  std::printf("(all thread counts bit-identical to serial)\n");
 }
 
 }  // namespace

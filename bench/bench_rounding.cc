@@ -15,9 +15,9 @@ namespace prospector {
 namespace {
 
 constexpr int kTop = 10;
-constexpr int kQueryEpochs = 80;
 
 void Run() {
+  const int query_epochs = bench::QueryEpochs(80);
   data::ContentionZoneOptions opts;
   opts.num_zones = 6;
   opts.nodes_per_zone = kTop;
@@ -46,9 +46,12 @@ void Run() {
   };
 
   std::printf("Rounding ablation on the contention workload (k=%d)\n", kTop);
+  bench::BenchJson json("rounding");
+  json.Meta("k", kTop).Meta("query_epochs", query_epochs);
   for (bool with_filtering : {false, true}) {
-    bench::PrintHeader(with_filtering ? "LP+LF" : "LP-LF",
-                       {"budget_mJ", "mode", "energy_mJ", "accuracy_pct"});
+    // mode_idx: 0 = threshold-only, 1 = repair, 2 = repair+fill.
+    bench::TableHeader(&json, with_filtering ? "LP+LF" : "LP-LF",
+                       {"budget_mJ", "mode_idx", "energy_mJ", "accuracy_pct"});
     for (double b : {8.0, 16.0, 24.0}) {
       for (const Mode& m : modes) {
         core::LpPlannerOptions lpo;
@@ -61,12 +64,15 @@ void Run() {
                 : core::LpNoFilterPlanner(lpo).Plan(ctx, samples, req);
         if (!plan.ok()) continue;
         bench::EvalResult r = bench::EvaluatePlan(
-            *plan, topo, ctx.energy, truth_fn, kQueryEpochs, 122);
+            *plan, topo, ctx.energy, truth_fn, query_epochs, 122);
         std::printf("%16.1f%16s%16.3f%16.3f\n", b, m.name, r.avg_energy_mj,
                     100.0 * r.avg_accuracy);
+        json.Row({b, double(&m - modes), r.avg_energy_mj,
+                  100.0 * r.avg_accuracy});
       }
     }
   }
+  json.Write();
   std::printf("\n(threshold-only may exceed its budget column; repair pulls "
               "it back; fill recovers stranded budget.)\n");
 }

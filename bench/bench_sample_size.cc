@@ -15,10 +15,10 @@ namespace prospector {
 namespace {
 
 constexpr int kTop = 10;
-constexpr int kQueryEpochs = 60;
 constexpr double kBudgetMj = 12.0;
 
 void Run() {
+  const int query_epochs = bench::QueryEpochs(60);
   std::printf("Sample-size study (LP+LF, k=%d, budget=%.1f mJ)\n", kTop,
               kBudgetMj);
 
@@ -49,8 +49,12 @@ void Run() {
       {"contention-zones", &contention.topology, &contention.field},
   };
 
+  bench::BenchJson json("sample_size");
+  json.Meta("k", kTop)
+      .Meta("budget_mj", kBudgetMj)
+      .Meta("query_epochs", query_epochs);
   for (const Workload& w : workloads) {
-    bench::PrintHeader(w.name, {"num_samples", "accuracy_pct"});
+    bench::TableHeader(&json, w.name, {"num_samples", "accuracy_pct"});
     for (int S : {1, 2, 3, 5, 8, 12, 18, 25, 35, 50}) {
       Rng srng(63);
       sampling::SampleSet samples =
@@ -63,11 +67,12 @@ void Run() {
       bench::TruthFn truth_fn = [&w](Rng* r) { return w.field->Sample(r); };
       bench::EvalResult r;
       if (bench::PlanAndEvaluate(&planner, ctx, samples, kTop, kBudgetMj,
-                                 truth_fn, kQueryEpochs, 64, &r)) {
-        bench::PrintRow({double(S), 100.0 * r.avg_accuracy});
+                                 truth_fn, query_epochs, 64, &r)) {
+        bench::TableRow(&json, {double(S), 100.0 * r.avg_accuracy});
       }
     }
   }
+  json.Write();
 }
 
 }  // namespace

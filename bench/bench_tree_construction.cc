@@ -47,8 +47,9 @@ net::Topology BfsTree(const std::vector<net::Point>& pos, double range) {
   return t;
 }
 
-void Evaluate(const char* name, const net::Topology& topo,
-              const data::GaussianField& field, int64_t build_messages) {
+void Evaluate(bench::BenchJson* json, const char* name,
+              const net::Topology& topo, const data::GaussianField& field,
+              int64_t build_messages) {
   Rng rng(161);
   sampling::SampleSet samples =
       sampling::SampleSet::ForTopK(topo.num_nodes(), kTop);
@@ -64,7 +65,8 @@ void Evaluate(const char* name, const net::Topology& topo,
   bench::TruthFn truth_fn = [&field](Rng* r) { return field.Sample(r); };
   bench::EvalResult lp;
   const bool ok = bench::PlanAndEvaluate(&planner, ctx, samples, kTop,
-                                         kBudgetMj, truth_fn, 40, 162, &lp);
+                                         kBudgetMj, truth_fn,
+                                         bench::QueryEpochs(40), 162, &lp);
   double weight = 0.0;
   for (int v = 1; v < topo.num_nodes(); ++v) {
     weight += net::Distance(topo.positions()[v],
@@ -74,6 +76,11 @@ void Evaluate(const char* name, const net::Topology& topo,
               topo.height(), topo.num_nodes(), weight,
               static_cast<long long>(build_messages), naive_cost,
               ok ? 100.0 * lp.avg_accuracy : -1.0);
+  json->Section(name, {"height", "nodes", "weight_m", "build_msgs",
+                       "naivek_mJ", "lp_lf_acc_pct"});
+  json->Row({double(topo.height()), double(topo.num_nodes()), weight,
+             double(build_messages), naive_cost,
+             ok ? 100.0 * lp.avg_accuracy : -1.0});
 }
 
 void Run() {
@@ -98,9 +105,12 @@ void Run() {
               n, kTop, kBudgetMj);
   std::printf("%10s %8s %8s %10s %12s %12s %14s\n", "tree", "height", "nodes",
               "weight_m", "build_msgs", "naivek_mJ", "lp_lf_acc_pct");
+  bench::BenchJson json("tree_construction");
+  json.Meta("nodes", n).Meta("k", kTop).Meta("budget_mj", kBudgetMj);
   // A BFS beacon flood costs one broadcast per node.
-  Evaluate("bfs", BfsTree(pos, range), field, n);
-  Evaluate("ghs-mst", mst->topology, field, mst->messages);
+  Evaluate(&json, "bfs", BfsTree(pos, range), field, n);
+  Evaluate(&json, "ghs-mst", mst->topology, field, mst->messages);
+  json.Write();
   std::printf("\n(MST rounds: %d; the shallow BFS tree keeps per-value "
               "paths short, which the planners prefer.)\n",
               mst->rounds);

@@ -2,6 +2,7 @@
 #define PROSPECTOR_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <utility>
@@ -75,10 +76,26 @@ inline bool PlanAndEvaluate(core::Planner* planner,
   return true;
 }
 
+/// Number of evaluation epochs a bench should run: `default_epochs` unless
+/// the PROSPECTOR_BENCH_EPOCHS environment variable overrides it (CI's
+/// bench smoke job sets it to 1 so every bench finishes in seconds while
+/// still exercising its full code path and JSON artifact).
+inline int QueryEpochs(int default_epochs) {
+  const char* env = std::getenv("PROSPECTOR_BENCH_EPOCHS");
+  if (env == nullptr) return default_epochs;
+  const int v = std::atoi(env);
+  return v > 0 ? v : default_epochs;
+}
+
 /// Machine-readable companion to the stdout tables: collects a flat meta
-/// object plus uniform numeric rows and writes BENCH_<name>.json in the
-/// working directory, mirroring bench_parallel_scaling's artifact so CI
-/// and plotting scripts can diff runs without scraping text.
+/// object plus one or more titled tables of uniform numeric rows and
+/// writes BENCH_<name>.json in the working directory so CI and plotting
+/// scripts can diff runs without scraping text.
+///
+/// Single-table benches call Columns() then Row(); the file carries
+/// top-level "columns"/"rows" (the original artifact shape). Multi-table
+/// benches call Section() before each table's rows; those tables land in
+/// a "tables" array of {"title", "columns", "rows"} objects.
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
@@ -91,8 +108,17 @@ class BenchJson {
     columns_ = std::move(columns);
     return *this;
   }
+  /// Starts a titled table; subsequent Row() calls append to it.
+  BenchJson& Section(std::string title, std::vector<std::string> columns) {
+    tables_.push_back(Table{std::move(title), std::move(columns), {}});
+    return *this;
+  }
   BenchJson& Row(std::vector<double> values) {
-    rows_.push_back(std::move(values));
+    if (!tables_.empty()) {
+      tables_.back().rows.push_back(std::move(values));
+    } else {
+      rows_.push_back(std::move(values));
+    }
     return *this;
   }
 
@@ -109,29 +135,63 @@ class BenchJson {
       std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
                    meta_[i].first.c_str(), meta_[i].second);
     }
-    std::fprintf(f, "},\n  \"columns\": [");
-    for (size_t i = 0; i < columns_.size(); ++i) {
-      std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ", columns_[i].c_str());
-    }
-    std::fprintf(f, "],\n  \"rows\": [\n");
-    for (size_t r = 0; r < rows_.size(); ++r) {
-      std::fprintf(f, "    [");
-      for (size_t i = 0; i < rows_[r].size(); ++i) {
-        std::fprintf(f, "%s%.6g", i == 0 ? "" : ", ", rows_[r][i]);
+    std::fprintf(f, "}");
+    size_t total_rows = rows_.size();
+    if (tables_.empty()) {
+      std::fprintf(f, ",\n  \"columns\": [");
+      WriteStrings(f, columns_);
+      std::fprintf(f, "],\n  \"rows\": [\n");
+      WriteRows(f, rows_, "    ");
+      std::fprintf(f, "  ]");
+    } else {
+      std::fprintf(f, ",\n  \"tables\": [\n");
+      for (size_t t = 0; t < tables_.size(); ++t) {
+        const Table& table = tables_[t];
+        total_rows += table.rows.size();
+        std::fprintf(f, "    {\"title\": \"%s\", \"columns\": [",
+                     table.title.c_str());
+        WriteStrings(f, table.columns);
+        std::fprintf(f, "], \"rows\": [\n");
+        WriteRows(f, table.rows, "      ");
+        std::fprintf(f, "    ]}%s\n", t + 1 < tables_.size() ? "," : "");
       }
-      std::fprintf(f, "]%s\n", r + 1 < rows_.size() ? "," : "");
+      std::fprintf(f, "  ]");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
-    std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    std::printf("\nwrote %s (%zu rows)\n", path.c_str(), total_rows);
     return true;
   }
 
  private:
+  struct Table {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<double>> rows;
+  };
+
+  static void WriteStrings(std::FILE* f, const std::vector<std::string>& v) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ", v[i].c_str());
+    }
+  }
+  static void WriteRows(std::FILE* f,
+                        const std::vector<std::vector<double>>& rows,
+                        const char* indent) {
+    for (size_t r = 0; r < rows.size(); ++r) {
+      std::fprintf(f, "%s[", indent);
+      for (size_t i = 0; i < rows[r].size(); ++i) {
+        std::fprintf(f, "%s%.6g", i == 0 ? "" : ", ", rows[r][i]);
+      }
+      std::fprintf(f, "]%s\n", r + 1 < rows.size() ? "," : "");
+    }
+  }
+
   std::string name_;
   std::vector<std::pair<std::string, double>> meta_;
   std::vector<std::string> columns_;
   std::vector<std::vector<double>> rows_;
+  std::vector<Table> tables_;
 };
 
 /// Fixed-width table printing helpers shared by the figure benches.
@@ -147,6 +207,20 @@ inline void PrintHeader(const std::string& title,
 inline void PrintRow(const std::vector<double>& values) {
   for (double v : values) std::printf("%16.3f", v);
   std::printf("\n");
+}
+
+/// Prints a table header and opens the matching JSON section, so stdout
+/// and BENCH_<name>.json stay in lockstep by construction.
+inline void TableHeader(BenchJson* json, const std::string& title,
+                        const std::vector<std::string>& columns) {
+  PrintHeader(title, columns);
+  if (json != nullptr) json->Section(title, columns);
+}
+
+/// Prints a table row and records it in the open JSON section.
+inline void TableRow(BenchJson* json, const std::vector<double>& values) {
+  PrintRow(values);
+  if (json != nullptr) json->Row(values);
 }
 
 }  // namespace bench

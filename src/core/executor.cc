@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
+
 namespace prospector {
 namespace core {
 
@@ -9,8 +11,13 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
                                             const std::vector<double>& truth,
                                             net::NetworkSimulator* sim,
                                             bool include_trigger) {
+  PROSPECTOR_SPAN("exec.collect");
   const net::Topology& topo = sim->topology();
   const int n = topo.num_nodes();
+  // The audit oracle: everything this executor charges also lands on the
+  // simulator's independent ledger, so the two deltas must agree exactly.
+  [[maybe_unused]] const double ledger_before_mj =
+      sim->stats().total_energy_mj;
 
   // Clamp effective bandwidth by the path to the root before spending any
   // energy: in an inconsistent plan (child bandwidth > 0 beneath an edge
@@ -104,15 +111,27 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
   if (static_cast<int>(result.answer.size()) > p.k) {
     result.answer.resize(p.k);
   }
+
+  PROSPECTOR_AUDIT_ENERGY("executor.collect", result.total_energy_mj(),
+                          sim->stats().total_energy_mj - ledger_before_mj);
+  PROSPECTOR_COUNTER_ADD("exec.collect.runs", 1);
+  PROSPECTOR_COUNTER_ADD("exec.collect.values_lost", result.values_lost);
+  PROSPECTOR_COUNTER_ADD("exec.collect.messages_dropped",
+                         result.messages_dropped);
   return result;
 }
 
 double TopKRecall(const ExecutionResult& result,
                   const std::vector<double>& truth, int k) {
+  return TopKRecall(result.answer, truth, k);
+}
+
+double TopKRecall(const std::vector<Reading>& answer,
+                  const std::vector<double>& truth, int k) {
   if (k <= 0) return 1.0;
   const std::vector<Reading> expected = TrueTopK(truth, k);
   std::vector<char> in_answer(truth.size(), 0);
-  for (const Reading& r : result.answer) in_answer[r.node] = 1;
+  for (const Reading& r : answer) in_answer[r.node] = 1;
   int hit = 0;
   for (const Reading& r : expected) hit += in_answer[r.node];
   return static_cast<double>(hit) /

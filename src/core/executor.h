@@ -72,6 +72,11 @@ class CollectionExecutor {
 double TopKRecall(const ExecutionResult& result,
                   const std::vector<double>& truth, int k);
 
+/// Same metric over a bare answer list (e.g. a session tick's translated
+/// answer); `answer` node ids must index into `truth`.
+double TopKRecall(const std::vector<Reading>& answer,
+                  const std::vector<double>& truth, int k);
+
 }  // namespace core
 }  // namespace prospector
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/core/plan_eval.h"
+#include "src/obs/obs.h"
 
 namespace prospector {
 namespace core {
@@ -11,6 +12,8 @@ namespace core {
 Result<QueryPlan> GreedyPlanner::Plan(const PlannerContext& ctx,
                                       const sampling::SampleSet& samples,
                                       const PlanRequest& request) {
+  PROSPECTOR_SPAN("planner.greedy.plan");
+  last_stats_ = PlannerStats{};
   const net::Topology& topo = *ctx.topology;
   const int n = topo.num_nodes();
   const int root = topo.root();

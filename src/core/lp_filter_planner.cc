@@ -6,6 +6,7 @@
 
 #include "src/core/plan_eval.h"
 #include "src/lp/model.h"
+#include "src/obs/obs.h"
 
 namespace prospector {
 namespace core {
@@ -13,6 +14,8 @@ namespace core {
 Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
                                         const sampling::SampleSet& samples,
                                         const PlanRequest& request) {
+  PROSPECTOR_SPAN("planner.lp_filter.plan");
+  last_stats_ = PlannerStats{};
   const net::Topology& topo = *ctx.topology;
   const int n = topo.num_nodes();
   const int root = topo.root();
@@ -97,6 +100,7 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
   lp::SimplexSolver solver(options_.simplex);
   auto solved = solver.Solve(model);
   if (!solved.ok()) return solved.status();
+  last_stats_.lp = solved->stats;
   if (solved->status != lp::SolveStatus::kOptimal) {
     return Status::Internal(std::string("LP+LF solve failed: ") +
                             lp::ToString(solved->status));
@@ -168,7 +172,9 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
       --plan.bandwidth[candidates[best]];
       plan.Normalize(topo);
       hits = scores[best].hits;
+      ++last_stats_.repair_rounds;
     }
+    PROSPECTOR_COUNTER_ADD("planner.repair_rounds", last_stats_.repair_rounds);
   }
 
   // Fill: conservative rounding can zero out scattered fractional mass and
@@ -190,6 +196,7 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
     bool progress = true;
     while (progress) {
       progress = false;
+      ++last_stats_.fill_passes;
       for (int i : order) {
         QueryPlan trial = plan;
         for (int e : paths[i]) {
@@ -209,6 +216,7 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
         }
       }
     }
+    PROSPECTOR_COUNTER_ADD("planner.fill_passes", last_stats_.fill_passes);
   }
   return plan;
 }

@@ -5,6 +5,7 @@
 
 #include "src/core/plan_eval.h"
 #include "src/lp/model.h"
+#include "src/obs/obs.h"
 
 namespace prospector {
 namespace core {
@@ -37,6 +38,8 @@ double SelectionCost(const PlannerContext& ctx, const net::Topology& topo,
 Result<QueryPlan> LpNoFilterPlanner::Plan(const PlannerContext& ctx,
                                           const sampling::SampleSet& samples,
                                           const PlanRequest& request) {
+  PROSPECTOR_SPAN("planner.lp_no_filter.plan");
+  last_stats_ = PlannerStats{};
   const net::Topology& topo = *ctx.topology;
   const int n = topo.num_nodes();
   const int root = topo.root();
@@ -89,6 +92,7 @@ Result<QueryPlan> LpNoFilterPlanner::Plan(const PlannerContext& ctx,
   lp::SimplexSolver solver(options_.simplex);
   auto solved = solver.Solve(model);
   if (!solved.ok()) return solved.status();
+  last_stats_.lp = solved->stats;
   if (solved->status != lp::SolveStatus::kOptimal) {
     return Status::Internal(std::string("LP-LF solve failed: ") +
                             lp::ToString(solved->status));
@@ -113,7 +117,9 @@ Result<QueryPlan> LpNoFilterPlanner::Plan(const PlannerContext& ctx,
       }
       if (worst < 0) break;
       chosen[worst] = 0;
+      ++last_stats_.repair_rounds;
     }
+    PROSPECTOR_COUNTER_ADD("planner.repair_rounds", last_stats_.repair_rounds);
   }
 
   // Fill: spend leftover budget on the best unchosen nodes that still fit.
@@ -143,6 +149,8 @@ Result<QueryPlan> LpNoFilterPlanner::Plan(const PlannerContext& ctx,
       chosen[i] = 1;
       for (int e : paths[i]) used[e] = 1;
     }
+    last_stats_.fill_passes = 1;  // single greedy pass by construction
+    PROSPECTOR_COUNTER_ADD("planner.fill_passes", 1);
   }
 
   QueryPlan plan = QueryPlan::NodeSelection(request.k, std::move(chosen), topo);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/core/plan.h"
+#include "src/lp/simplex.h"
 #include "src/net/energy_model.h"
 #include "src/net/failure.h"
 #include "src/net/topology.h"
@@ -61,6 +62,21 @@ inline util::ThreadPool* EnsureThreadPool(
   return slot->get();
 }
 
+/// Work accounting of one Plan() call — the numbers the optimizer papers
+/// report (LP size, pivot counts, rounding-repair effort) and that used to
+/// be computed and silently dropped. Deterministic for a given input:
+/// identical across planner thread counts.
+struct PlannerStats {
+  /// The (last) LP relaxation solve behind the plan; zeroes for planners
+  /// that never touch the simplex (greedy, naive).
+  lp::SolveStats lp;
+  /// Budget-repair rounds: bandwidth units trimmed after rounding.
+  int repair_rounds = 0;
+  /// Fill passes: whole orders re-scanned while leftover budget granted
+  /// extra bandwidth units.
+  int fill_passes = 0;
+};
+
 /// Common interface of the PROSPECTOR planning algorithms: given past
 /// samples and an energy budget, produce an executable plan.
 class Planner {
@@ -70,6 +86,13 @@ class Planner {
                                  const sampling::SampleSet& samples,
                                  const PlanRequest& request) = 0;
   virtual std::string name() const = 0;
+
+  /// Telemetry of the most recent Plan() call (zero-initialized before one
+  /// has been made). Valid until the next Plan() on this planner.
+  const PlannerStats& last_stats() const { return last_stats_; }
+
+ protected:
+  PlannerStats last_stats_;
 };
 
 }  // namespace core

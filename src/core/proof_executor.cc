@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/obs/obs.h"
+
 namespace prospector {
 namespace core {
 namespace {
@@ -28,8 +30,11 @@ Reading PlusInfinityReading() {
 
 ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
                                              bool include_trigger) {
+  PROSPECTOR_SPAN("exec.proof.phase1");
   const net::Topology& topo = sim_->topology();
   const int n = topo.num_nodes();
+  [[maybe_unused]] const double ledger_before_mj =
+      sim_->stats().total_energy_mj;
   ExecutionResult result;
   if (include_trigger) {
     result.trigger_energy_mj = ChargeTriggerCost(*plan_, sim_);
@@ -43,6 +48,8 @@ ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
   degraded_ = false;
   mopup_drops_ = 0;
   mopup_values_lost_ = 0;
+  mopup_values_moved_ = 0;
+  mopup_requests_ = 0;
   result.edge_expected.assign(n, 0);
   result.edge_delivered.assign(n, 0);
   std::vector<std::vector<Reading>> sent(n);   // what each node passed up
@@ -154,6 +161,9 @@ ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
                     static_cast<int>(result.answer.size()));
   degraded_ = degraded_ || result.degraded;
   phase1_done_ = true;
+  PROSPECTOR_AUDIT_ENERGY("executor.proof_phase1", result.total_energy_mj(),
+                          sim_->stats().total_energy_mj - ledger_before_mj);
+  PROSPECTOR_COUNTER_ADD("exec.proof.phase1_runs", 1);
   return result;
 }
 
@@ -196,6 +206,7 @@ ProofExecutor::MopUpReply ProofExecutor::MopUpAtNode(int u, int t,
       std::vector<Reading> fetched;
       if (mode_ == MopUpMode::kBroadcast) {
         sim_->BroadcastPayload(u, kMopUpRequestBytes);
+        ++mopup_requests_;
         for (int c : topo.children(u)) {
           // A dead or partitioned child never hears the broadcast.
           if (!sim_->edge_usable(c)) {
@@ -203,6 +214,7 @@ ProofExecutor::MopUpReply ProofExecutor::MopUpAtNode(int u, int t,
             continue;
           }
           MopUpReply reply = MopUpAtNode(c, t_prime, lo_prime, hi_prime);
+          mopup_values_moved_ += static_cast<int>(reply.readings.size());
           const net::DeliveryResult up =
               sim_->TryUnicast(c, static_cast<int>(reply.readings.size()));
           if (!up.delivered) {
@@ -236,12 +248,14 @@ ProofExecutor::MopUpReply ProofExecutor::MopUpAtNode(int u, int t,
           // answers this round.
           const net::DeliveryResult req =
               sim_->TryUnicast(c, 0, kMopUpRequestBytes);
+          ++mopup_requests_;
           if (!req.delivered) {
             ++mopup_drops_;
             degraded_ = true;
             continue;
           }
           MopUpReply reply = MopUpAtNode(c, t_prime, lo_prime, hi_c);
+          mopup_values_moved_ += static_cast<int>(reply.readings.size());
           const net::DeliveryResult up =
               sim_->TryUnicast(c, static_cast<int>(reply.readings.size()));
           if (!up.delivered) {
@@ -277,8 +291,11 @@ ProofExecutor::MopUpReply ProofExecutor::MopUpAtNode(int u, int t,
 }
 
 ExecutionResult ProofExecutor::ExecuteMopUp() {
+  PROSPECTOR_SPAN("exec.proof.mopup");
   ExecutionResult result;
   if (!phase1_done_) return result;
+  mopup_values_moved_ = 0;
+  mopup_requests_ = 0;
   const net::Topology& topo = sim_->topology();
   const double energy_before = sim_->stats().total_energy_mj;
 
@@ -305,6 +322,10 @@ ExecutionResult ProofExecutor::ExecuteMopUp() {
   } else {
     result.proven_count = static_cast<int>(result.answer.size());
   }
+  PROSPECTOR_COUNTER_ADD("exec.mopup.runs", 1);
+  PROSPECTOR_COUNTER_ADD("exec.mopup.requests", mopup_requests_);
+  PROSPECTOR_COUNTER_ADD("exec.mopup.values_moved", mopup_values_moved_);
+  PROSPECTOR_COUNTER_ADD("exec.mopup.values_lost", mopup_values_lost_);
   return result;
 }
 

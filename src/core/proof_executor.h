@@ -73,6 +73,12 @@ class ProofExecutor {
   /// Any message lost so far (either phase).
   bool degraded() const { return degraded_; }
 
+  /// Mop-up volume: readings carried by mop-up replies (delivered or not)
+  /// and requests issued, across the last ExecuteMopUp(). The per-phase
+  /// cost split the paper's Section 4.3 analysis reasons about.
+  int mopup_values_moved() const { return mopup_values_moved_; }
+  int mopup_requests() const { return mopup_requests_; }
+
   /// Test/inspection access to node memory after phase 1 or mop-up.
   const std::vector<Reading>& retrieved(int node) const {
     return retrieved_[node];
@@ -103,6 +109,8 @@ class ProofExecutor {
   bool degraded_ = false;
   int mopup_drops_ = 0;
   int mopup_values_lost_ = 0;
+  int mopup_values_moved_ = 0;
+  int mopup_requests_ = 0;
 };
 
 }  // namespace core

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/lp/model.h"
+#include "src/obs/obs.h"
 
 namespace prospector {
 namespace core {
@@ -28,6 +29,8 @@ double ProofPlanner::MinimumCost(const PlannerContext& ctx) {
 Result<QueryPlan> ProofPlanner::Plan(const PlannerContext& ctx,
                                      const sampling::SampleSet& all_samples,
                                      const PlanRequest& request) {
+  PROSPECTOR_SPAN("planner.proof.plan");
+  last_stats_ = PlannerStats{};
   const net::Topology& topo = *ctx.topology;
   const int n = topo.num_nodes();
   if (all_samples.num_nodes() != n) {
@@ -145,6 +148,7 @@ Result<QueryPlan> ProofPlanner::Plan(const PlannerContext& ctx,
   lp::SimplexSolver solver(options_.simplex);
   auto solved = solver.Solve(model);
   if (!solved.ok()) return solved.status();
+  last_stats_.lp = solved->stats;
   if (solved->status != lp::SolveStatus::kOptimal) {
     return Status::Internal(std::string("Proof LP solve failed: ") +
                             lp::ToString(solved->status));

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "src/core/executor.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
+
 namespace prospector {
 namespace core {
 namespace {
@@ -50,9 +54,16 @@ TopKQuerySession::TopKQuerySession(const net::Topology* topology,
 }
 
 Result<bool> TopKQuerySession::Replan() {
+  PROSPECTOR_SPAN("session.replan");
+  const int64_t start_us = obs::MonotonicNowUs();
   auto changed = manager_.MaybeReplan(ctx_, samples_, &sim_);
+  last_replan_latency_ms_ =
+      static_cast<double>(obs::MonotonicNowUs() - start_us) / 1000.0;
   if (changed.ok() && *changed) {
     install_energy_ += sim_.TakeStats().total_energy_mj;
+    PROSPECTOR_COUNTER_ADD("session.replans", 1);
+    PROSPECTOR_HISTOGRAM_RECORD("session.replan_latency_us",
+                                last_replan_latency_ms_ * 1000.0);
   } else {
     sim_.ResetStats();
   }
@@ -69,6 +80,33 @@ void TopKQuerySession::ObserveEdges(const std::vector<char>& expected,
   for (size_t u = 0; u < expected.size(); ++u) {
     if (!expected[u]) continue;  // no evidence either way this epoch
     silent_[u] = delivered[u] ? 0 : silent_[u] + 1;
+  }
+}
+
+void TopKQuerySession::FinishTick(
+    [[maybe_unused]] const TickResult* result) const {
+  PROSPECTOR_COUNTER_ADD("session.values_lost",
+                         static_cast<int64_t>(result->values_lost));
+  if (result->degraded) {
+    PROSPECTOR_COUNTER_ADD("session.degraded_epochs", 1);
+  }
+  PROSPECTOR_GAUGE_SET("session.degraded", result->degraded ? 1.0 : 0.0);
+  if (result->recall >= 0.0) {
+    PROSPECTOR_HISTOGRAM_RECORD("session.recall", result->recall);
+  }
+  switch (result->kind) {
+    case TickResult::Kind::kBootstrap:
+      PROSPECTOR_COUNTER_ADD("session.bootstrap_epochs", 1);
+      break;
+    case TickResult::Kind::kExplore:
+      PROSPECTOR_COUNTER_ADD("session.explore_epochs", 1);
+      break;
+    case TickResult::Kind::kAudit:
+      PROSPECTOR_COUNTER_ADD("session.audit_epochs", 1);
+      break;
+    case TickResult::Kind::kQuery:
+      PROSPECTOR_COUNTER_ADD("session.query_epochs", 1);
+      break;
   }
 }
 
@@ -107,6 +145,9 @@ Result<bool> TopKQuerySession::MaybeHeal(TickResult* result) {
     }
     if (!shadowed) dead.push_back(u);
   }
+  PROSPECTOR_SPAN("session.heal");
+  PROSPECTOR_COUNTER_ADD("session.watchdog.declared_dead",
+                         static_cast<int64_t>(dead.size()));
 
   auto rebuilt = net::RebuildWithoutNodes(*topology_, dead,
                                           options_.rebuild_radio_range);
@@ -159,6 +200,9 @@ Result<bool> TopKQuerySession::MaybeHeal(TickResult* result) {
   if (!changed.ok()) return changed.status();
   result->replanned = *changed;
   result->rebuilt = true;
+  PROSPECTOR_COUNTER_ADD("session.watchdog.rebuilds", 1);
+  PROSPECTOR_COUNTER_ADD("session.watchdog.removed_nodes",
+                         static_cast<int64_t>(result->removed_nodes.size()));
   return true;
 }
 
@@ -168,6 +212,8 @@ Result<TopKQuerySession::TickResult> TopKQuerySession::Tick(
     return Status::InvalidArgument("truth vector does not match network size");
   }
   TickResult result;
+  PROSPECTOR_SPAN("session.tick");
+  PROSPECTOR_COUNTER_ADD("session.epochs", 1);
   const int this_epoch = epoch_++;
   if (injecting_) injector_.AdvanceTo(this_epoch);
 
@@ -196,6 +242,8 @@ Result<TopKQuerySession::TickResult> TopKQuerySession::Tick(
     const sampling::SweepReport sweep =
         collector_.CollectSampleReport(*cur_truth, &sim_, &samples_, fallback);
     sampling_energy_ += sweep.energy_mj;
+    PROSPECTOR_AUDIT_ENERGY("session.explore", sweep.energy_mj,
+                            sim_.stats().total_energy_mj);
     sim_.ResetStats();
     result.degraded = sweep.degraded;
     result.values_lost = sweep.values_lost;
@@ -210,6 +258,8 @@ Result<TopKQuerySession::TickResult> TopKQuerySession::Tick(
       if (!changed.ok()) return changed.status();
       result.replanned = *changed;
     }
+    if (result.replanned) result.replan_latency_ms = last_replan_latency_ms_;
+    FinishTick(&result);
     return result;
   }
 
@@ -217,6 +267,7 @@ Result<TopKQuerySession::TickResult> TopKQuerySession::Tick(
     auto changed = Replan();
     if (!changed.ok()) return changed.status();
     result.replanned = *changed;
+    if (result.replanned) result.replan_latency_ms = last_replan_latency_ms_;
   }
 
   // Audit epoch: a proof-backed exact query measuring true accuracy.
@@ -228,12 +279,17 @@ Result<TopKQuerySession::TickResult> TopKQuerySession::Tick(
         ctx_, samples_, options_.k,
         ProofPlanner::MinimumCost(ctx_) * options_.audit_budget_factor,
         *cur_truth, &sim_, options_.lp);
+    [[maybe_unused]] const double audit_ledger_mj =
+        sim_.stats().total_energy_mj;
     sim_.ResetStats();
     if (!exact.ok()) return exact.status();
+    PROSPECTOR_AUDIT_ENERGY("session.audit", exact->total_energy_mj(),
+                            audit_ledger_mj);
     audit_energy_ += exact->total_energy_mj();
     result.answer = exact->answer;
     TranslateAnswer(&result.answer);
     result.proven = exact->phase1_proven;
+    result.recall = TopKRecall(result.answer, truth, options_.k);
     result.energy_mj = exact->total_energy_mj();
     result.degraded = exact->degraded;
     result.values_lost = exact->values_lost;
@@ -242,6 +298,8 @@ Result<TopKQuerySession::TickResult> TopKQuerySession::Tick(
     ObserveEdges(exact->edge_expected, exact->edge_delivered);
     auto healed = MaybeHeal(&result);
     if (!healed.ok()) return healed.status();
+    if (result.replanned) result.replan_latency_ms = last_replan_latency_ms_;
+    FinishTick(&result);
     return result;
   }
 
@@ -249,16 +307,21 @@ Result<TopKQuerySession::TickResult> TopKQuerySession::Tick(
   result.kind = TickResult::Kind::kQuery;
   ExecutionResult r =
       CollectionExecutor::Execute(manager_.plan(), *cur_truth, &sim_);
+  PROSPECTOR_AUDIT_ENERGY("session.query", r.total_energy_mj(),
+                          sim_.stats().total_energy_mj);
   sim_.ResetStats();
   query_energy_ += r.total_energy_mj();
   result.answer = std::move(r.answer);
   TranslateAnswer(&result.answer);
+  result.recall = TopKRecall(result.answer, truth, options_.k);
   result.energy_mj = r.total_energy_mj();
   result.degraded = r.degraded;
   result.values_lost = r.values_lost;
   ObserveEdges(r.edge_expected, r.edge_delivered);
   auto healed = MaybeHeal(&result);
   if (!healed.ok()) return healed.status();
+  if (result.replanned) result.replan_latency_ms = last_replan_latency_ms_;
+  FinishTick(&result);
   return result;
 }
 

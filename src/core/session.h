@@ -81,6 +81,12 @@ class TopKQuerySession {
     bool replanned = false;
     /// Audit epochs: how many answers phase 1 proved (k = full marks).
     int proven = -1;
+    /// Query/audit epochs: fraction of the true top-k in `answer`,
+    /// measured against the caller's truth vector. -1 for epochs that
+    /// return no answer (bootstrap/explore).
+    double recall = -1.0;
+    /// Wall-clock cost of any replan this epoch (0 when none ran).
+    double replan_latency_ms = 0.0;
     /// Loss accounting for this epoch (fault injection / lossy transport).
     bool degraded = false;
     int values_lost = 0;
@@ -131,6 +137,8 @@ class TopKQuerySession {
   /// Declares long-silent subtrees dead, rebuilds, remaps, replans.
   /// Returns whether a rebuild happened.
   Result<bool> MaybeHeal(TickResult* result);
+  /// Records per-epoch observability metrics for a finished tick.
+  void FinishTick(const TickResult* result) const;
 
   const net::Topology* topology_;
   SessionOptions options_;
@@ -143,6 +151,7 @@ class TopKQuerySession {
   Rng rng_;
   int epoch_ = 0;
   int queries_since_audit_ = 0;
+  double last_replan_latency_ms_ = 0.0;
   double query_energy_ = 0.0;
   double sampling_energy_ = 0.0;
   double audit_energy_ = 0.0;

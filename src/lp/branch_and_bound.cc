@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "src/obs/obs.h"
+
 namespace prospector {
 namespace lp {
 namespace {
@@ -48,6 +50,7 @@ Model WithOverrides(const Model& base, const std::vector<BoundOverride>& ovr) {
 
 Result<BnbResult> BranchAndBound::Solve(
     const Model& model, const std::vector<int>& integer_vars) const {
+  PROSPECTOR_SPAN("lp.bnb_solve");
   PROSPECTOR_RETURN_IF_ERROR(model.Validate());
   for (int v : integer_vars) {
     if (v < 0 || v >= model.num_variables()) {
@@ -95,6 +98,7 @@ Result<BnbResult> BranchAndBound::Solve(
 
     auto relax = solver.Solve(sub);
     if (!relax.ok()) return relax.status();
+    result.lp_stats.Accumulate(relax->stats);
     if (relax->status == SolveStatus::kInfeasible) continue;
     if (relax->status == SolveStatus::kUnbounded) {
       return Status::InvalidArgument(
@@ -161,6 +165,7 @@ Result<BnbResult> BranchAndBound::Solve(
   } else {
     result.status = SolveStatus::kInfeasible;
   }
+  PROSPECTOR_COUNTER_ADD("lp.bnb_nodes", result.nodes_explored);
   return result;
 }
 

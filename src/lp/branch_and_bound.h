@@ -31,6 +31,8 @@ struct BnbResult {
   int nodes_explored = 0;
   /// Best relaxation bound at termination (equals objective when optimal).
   double best_bound = 0.0;
+  /// Simplex work summed over every node relaxation solved.
+  SolveStats lp_stats;
 };
 
 /// Branch-and-bound over the bounded-variable simplex: LP-based bounding,

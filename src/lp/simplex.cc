@@ -6,6 +6,8 @@
 #include <limits>
 #include <vector>
 
+#include "src/obs/obs.h"
+
 namespace prospector {
 namespace lp {
 namespace {
@@ -219,7 +221,7 @@ void ApplyStep(Tableau* tab, int j, int direction, const RatioResult& rr) {
 
 // Runs simplex iterations until optimal/unbounded/limit. Returns status.
 SolveStatus Iterate(Tableau* tab, const SimplexOptions& opts, int max_iters,
-                    int* iterations) {
+                    int* iterations, int* blands_activations) {
   bool bland = false;
   int stall = 0;
   double last_obj = tab->ObjectiveNow();
@@ -243,6 +245,7 @@ SolveStatus Iterate(Tableau* tab, const SimplexOptions& opts, int max_iters,
       bland = false;
       last_obj = obj;
     } else if (++stall > opts.stall_threshold) {
+      if (!bland) ++*blands_activations;
       bland = true;  // anti-cycling fallback until progress resumes
     }
   }
@@ -250,9 +253,22 @@ SolveStatus Iterate(Tableau* tab, const SimplexOptions& opts, int max_iters,
   return SolveStatus::kIterationLimit;
 }
 
+// Every termination path (optimal, infeasible, limit) passes through here
+// so the registry sees all work done, not just successful solves.
+void RecordSolveMetrics([[maybe_unused]] const Solution& sol) {
+  PROSPECTOR_COUNTER_ADD("lp.solves", 1);
+  PROSPECTOR_COUNTER_ADD("lp.rows", sol.stats.rows);
+  PROSPECTOR_COUNTER_ADD("lp.columns", sol.stats.columns);
+  PROSPECTOR_COUNTER_ADD("lp.artificials", sol.stats.artificials);
+  PROSPECTOR_COUNTER_ADD("lp.phase1_pivots", sol.stats.phase1_iterations);
+  PROSPECTOR_COUNTER_ADD("lp.phase2_pivots", sol.stats.phase2_iterations);
+  PROSPECTOR_COUNTER_ADD("lp.blands_activations", sol.stats.blands_activations);
+}
+
 }  // namespace
 
 Result<Solution> SimplexSolver::Solve(const Model& model) const {
+  PROSPECTOR_SPAN("lp.solve");
   PROSPECTOR_RETURN_IF_ERROR(model.Validate());
 
   const int nstruct = model.num_variables();
@@ -413,6 +429,9 @@ Result<Solution> SimplexSolver::Solve(const Model& model) const {
   }
 
   Solution sol;
+  sol.stats.rows = m;
+  sol.stats.columns = nstruct;
+  sol.stats.artificials = nart;
   const int default_iters = 50 * (m + ncols) + 1000;
   const int max_iters =
       options_.max_iterations > 0 ? options_.max_iterations : default_iters;
@@ -422,14 +441,18 @@ Result<Solution> SimplexSolver::Solve(const Model& model) const {
     std::vector<double> real_cost = tab.cost;
     tab.cost = phase1_cost;
     tab.RecomputeReducedCosts();
-    SolveStatus st = Iterate(&tab, options_, max_iters, &sol.phase1_iterations);
+    SolveStatus st = Iterate(&tab, options_, max_iters,
+                             &sol.stats.phase1_iterations,
+                             &sol.stats.blands_activations);
     const double inf_obj = tab.ObjectiveNow();
     if (st == SolveStatus::kIterationLimit) {
       sol.status = SolveStatus::kIterationLimit;
+      RecordSolveMetrics(sol);
       return sol;
     }
     if (inf_obj > options_.feasibility_tol) {
       sol.status = SolveStatus::kInfeasible;
+      RecordSolveMetrics(sol);
       return sol;
     }
     // Pin artificials to zero so they can never re-enter.
@@ -442,8 +465,11 @@ Result<Solution> SimplexSolver::Solve(const Model& model) const {
 
   // ---- Phase 2. ----
   tab.RecomputeReducedCosts();
-  SolveStatus st = Iterate(&tab, options_, max_iters, &sol.phase2_iterations);
+  SolveStatus st = Iterate(&tab, options_, max_iters,
+                           &sol.stats.phase2_iterations,
+                           &sol.stats.blands_activations);
   sol.status = st;
+  RecordSolveMetrics(sol);
   if (st != SolveStatus::kOptimal) return sol;
 
   // Extract the structural point.

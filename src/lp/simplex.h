@@ -28,6 +28,32 @@ inline const char* ToString(SolveStatus s) {
   return "unknown";
 }
 
+/// Per-solve work accounting. Counts are deterministic — two solves of the
+/// same model always pivot identically — so they can feed the metrics
+/// registry without breaking the bit-identical-snapshot contract.
+struct SolveStats {
+  int phase1_iterations = 0;  ///< pivots spent finding a feasible basis
+  int phase2_iterations = 0;  ///< pivots spent optimizing
+  /// Times Dantzig pricing stalled past the threshold and the solver fell
+  /// back to Bland's rule (anti-cycling). Persistently nonzero values on
+  /// planner LPs signal degenerate models worth re-formulating.
+  int blands_activations = 0;
+  int rows = 0;         ///< constraint rows in the model
+  int columns = 0;      ///< structural variables
+  int artificials = 0;  ///< phase-1 artificial variables introduced
+
+  int total_iterations() const { return phase1_iterations + phase2_iterations; }
+
+  void Accumulate(const SolveStats& other) {
+    phase1_iterations += other.phase1_iterations;
+    phase2_iterations += other.phase2_iterations;
+    blands_activations += other.blands_activations;
+    rows += other.rows;
+    columns += other.columns;
+    artificials += other.artificials;
+  }
+};
+
 /// Solver output. `values` holds the primal point for the model's
 /// structural variables (only meaningful when status == kOptimal).
 struct Solution {
@@ -40,8 +66,7 @@ struct Solution {
   std::vector<double> row_duals;
   /// Reduced cost per structural variable (same sign convention).
   std::vector<double> reduced_costs;
-  int phase1_iterations = 0;
-  int phase2_iterations = 0;
+  SolveStats stats;
   /// Max bound/row violation of the returned point, as re-checked against
   /// the original model (a numerical health indicator).
   double primal_residual = 0.0;

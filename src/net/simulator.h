@@ -15,6 +15,16 @@
 namespace prospector {
 namespace net {
 
+/// Per-edge traffic ledger entry; the edge is named by its child endpoint
+/// (every tree edge has exactly one). Unicast traffic only — broadcasts
+/// have no single edge and are accounted node-side.
+struct EdgeTraffic {
+  int messages = 0;  ///< transmission attempts (lossy mode counts retries)
+  int retries = 0;   ///< lossy mode: re-transmissions after the first try
+  int drops = 0;     ///< messages abandoned (retry budget / dead endpoint)
+  double energy_mj = 0.0;
+};
+
 /// Aggregate accounting of one or more simulated phases.
 struct TransmissionStats {
   double total_energy_mj = 0.0;
@@ -28,6 +38,8 @@ struct TransmissionStats {
   int acquisitions = 0;
   /// Energy attributed per node (sender side of each message).
   std::vector<double> per_node_energy_mj;
+  /// Message/retry/drop ledger per tree edge (indexed by child endpoint).
+  std::vector<EdgeTraffic> per_edge;
 
   void Accumulate(const TransmissionStats& other) {
     total_energy_mj += other.total_energy_mj;
@@ -44,6 +56,15 @@ struct TransmissionStats {
     }
     for (size_t i = 0; i < other.per_node_energy_mj.size(); ++i) {
       per_node_energy_mj[i] += other.per_node_energy_mj[i];
+    }
+    if (per_edge.size() < other.per_edge.size()) {
+      per_edge.resize(other.per_edge.size());
+    }
+    for (size_t i = 0; i < other.per_edge.size(); ++i) {
+      per_edge[i].messages += other.per_edge[i].messages;
+      per_edge[i].retries += other.per_edge[i].retries;
+      per_edge[i].drops += other.per_edge[i].drops;
+      per_edge[i].energy_mj += other.per_edge[i].energy_mj;
     }
   }
 };
@@ -89,6 +110,7 @@ class NetworkSimulator {
       std::abort();
     }
     stats_.per_node_energy_mj.assign(topology->num_nodes(), 0.0);
+    stats_.per_edge.assign(topology->num_nodes(), EdgeTraffic{});
   }
 
   const Topology& topology() const { return *topology_; }
@@ -166,10 +188,15 @@ class NetworkSimulator {
     stats_.total_energy_mj += out.energy_mj;
     stats_.unicast_messages += lossy_.enabled ? out.attempts : 1;
     stats_.per_node_energy_mj[child_edge] += out.energy_mj;
+    EdgeTraffic& edge = stats_.per_edge[child_edge];
+    edge.messages += lossy_.enabled ? out.attempts : 1;
+    edge.retries += out.attempts - 1;
+    edge.energy_mj += out.energy_mj;
     if (out.delivered) {
       stats_.values_transmitted += num_values;
     } else {
       ++stats_.drops;
+      ++edge.drops;
       stats_.values_lost += num_values;
     }
     return out;
@@ -225,6 +252,7 @@ class NetworkSimulator {
   void ResetStats() {
     stats_ = TransmissionStats{};
     stats_.per_node_energy_mj.assign(topology_->num_nodes(), 0.0);
+    stats_.per_edge.assign(topology_->num_nodes(), EdgeTraffic{});
   }
 
   /// Takes the current ledger and resets it — convenient for per-phase

@@ -1,0 +1,51 @@
+#include "src/obs/audit.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/obs/metrics.h"
+
+namespace prospector {
+namespace obs {
+namespace {
+
+std::atomic<bool> fail_fast{false};
+
+}  // namespace
+
+EnergyAuditResult CheckEnergyLedger(double claimed_mj, double measured_mj,
+                                    double abs_tol, double rel_tol) {
+  EnergyAuditResult out;
+  out.claimed_mj = claimed_mj;
+  out.measured_mj = measured_mj;
+  out.divergence_mj = claimed_mj - measured_mj;
+  const double budget = abs_tol + rel_tol * std::abs(measured_mj);
+  // The negated comparison keeps NaN divergences (corrupted ledgers) failing.
+  out.ok = !(std::abs(out.divergence_mj) > budget) &&
+           !std::isnan(out.divergence_mj);
+  return out;
+}
+
+void SetEnergyAuditFailFast(bool value) {
+  fail_fast.store(value, std::memory_order_relaxed);
+}
+
+bool EnergyAuditFailFast() { return fail_fast.load(std::memory_order_relaxed); }
+
+bool AuditEnergy(const char* label, double claimed_mj, double measured_mj) {
+  MetricsRegistry::Global().counter("audit.energy.checks")->Increment();
+  const EnergyAuditResult r = CheckEnergyLedger(claimed_mj, measured_mj);
+  if (r.ok) return true;
+  MetricsRegistry::Global().counter("audit.energy.failures")->Increment();
+  std::fprintf(stderr,
+               "ENERGY LEDGER AUDIT FAILED [%s]: claimed %.9f mJ vs "
+               "simulator ledger %.9f mJ (divergence %.3e mJ)\n",
+               label, r.claimed_mj, r.measured_mj, r.divergence_mj);
+  if (EnergyAuditFailFast()) std::abort();
+  return false;
+}
+
+}  // namespace obs
+}  // namespace prospector

@@ -1,0 +1,136 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace prospector {
+namespace obs {
+namespace {
+
+int BucketFor(double v) {
+  if (!(v > 1.0)) return 0;  // <= 1, zero, negative, NaN
+  const int b = static_cast<int>(std::ceil(std::log2(v)));
+  return std::min(b, Histogram::kNumBuckets - 1);
+}
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  out->append(name);  // metric names are plain dotted identifiers
+  out->append("\": ");
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::Record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (data_.buckets.empty()) data_.buckets.assign(kNumBuckets, 0);
+  if (data_.count == 0) {
+    data_.min = v;
+    data_.max = v;
+  } else {
+    data_.min = std::min(data_.min, v);
+    data_.max = std::max(data_.max, v);
+  }
+  ++data_.count;
+  data_.sum += v;
+  ++data_.buckets[BucketFor(v)];
+}
+
+Histogram::Data Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Data out = data_;
+  if (out.buckets.empty()) out.buckets.assign(kNumBuckets, 0);
+  return out;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_ = Data{};
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += FormatDouble(value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += "{\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + FormatDouble(h.sum);
+    out += ", \"min\": " + FormatDouble(h.count > 0 ? h.min : 0.0);
+    out += ", \"max\": " + FormatDouble(h.count > 0 ? h.max : 0.0);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) out.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.emplace_back(name, h->Snapshot());
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace prospector

@@ -1,0 +1,123 @@
+#ifndef PROSPECTOR_OBS_METRICS_H_
+#define PROSPECTOR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prospector {
+namespace obs {
+
+/// Monotonically increasing integer metric. Increments are lock-free and
+/// may come from any thread; because integer addition is associative, the
+/// total is identical for every interleaving — the property that keeps
+/// registry snapshots bit-identical across planner thread counts.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins double metric. Determinism contract (DESIGN.md,
+/// "Observability"): set gauges only from serial code, never from inside a
+/// ParallelFor body, so the surviving value does not depend on scheduling.
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(ToBits(v), std::memory_order_relaxed);
+  }
+  double value() const { return FromBits(bits_.load(std::memory_order_relaxed)); }
+  void Reset() { Set(0.0); }
+
+ private:
+  static uint64_t ToBits(double v) {
+    uint64_t b;
+    static_assert(sizeof(b) == sizeof(v));
+    __builtin_memcpy(&b, &v, sizeof(b));
+    return b;
+  }
+  static double FromBits(uint64_t b) {
+    double v;
+    __builtin_memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Distribution metric with base-2 exponential buckets. Bucket counts are
+/// interleaving-independent; `sum` is a float accumulation, so (same
+/// contract as Gauge) record histograms only from serial code when
+/// bit-identical snapshots matter.
+class Histogram {
+ public:
+  /// Bucket b holds values in (2^(b-1), 2^b]; bucket 0 holds v <= 1
+  /// (including zero and negatives, which are clamped).
+  static constexpr int kNumBuckets = 64;
+
+  struct Data {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< meaningful only when count > 0
+    double max = 0.0;
+    std::vector<int64_t> buckets;  ///< size kNumBuckets
+  };
+
+  void Record(double v);
+  Data Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  Data data_;
+};
+
+/// One deterministic view of the registry: every metric, sorted by name
+/// (the registry stores them in an ordered map, so two snapshots of equal
+/// metric state serialize identically regardless of registration order or
+/// thread count).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Data>> histograms;
+
+  /// Compact single-object JSON, e.g. for appending to bench artifacts.
+  std::string ToJson() const;
+};
+
+/// Thread-safe named-metric registry. Lookup interns the metric on first
+/// use and returns a stable pointer; call sites may cache it. Metric names
+/// are dotted paths, lowest-frequency word first: `layer.subsystem.what`
+/// (e.g. "planner.lp.phase2_pivots", "session.watchdog.rebuilds").
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by the PROSPECTOR_* macros.
+  static MetricsRegistry& Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every metric but keeps registrations (pointers stay valid).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace prospector
+
+#endif  // PROSPECTOR_OBS_METRICS_H_

@@ -1,0 +1,78 @@
+#ifndef PROSPECTOR_OBS_OBS_H_
+#define PROSPECTOR_OBS_OBS_H_
+
+/// Umbrella header for the observability layer plus the instrumentation
+/// macros every other layer uses at its call sites.
+///
+/// The macros are the compile-time gate: configuring with
+/// `-DPROSPECTOR_OBS=OFF` defines PROSPECTOR_OBS_DISABLED and every macro
+/// expands to nothing — zero instructions on the hot paths, which is what
+/// lets the instrumentation stay wired in permanently. The classes behind
+/// them (MetricsRegistry, Tracer, the audit helpers) are always compiled,
+/// so tooling and tests can use them directly in either mode.
+
+#include "src/obs/audit.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+#ifdef PROSPECTOR_OBS_DISABLED
+
+#define PROSPECTOR_SPAN(name) \
+  do {                        \
+  } while (0)
+#define PROSPECTOR_COUNTER_ADD(name, delta) \
+  do {                                      \
+  } while (0)
+#define PROSPECTOR_GAUGE_SET(name, value) \
+  do {                                    \
+  } while (0)
+#define PROSPECTOR_HISTOGRAM_RECORD(name, value) \
+  do {                                           \
+  } while (0)
+#define PROSPECTOR_AUDIT_ENERGY(label, claimed_mj, measured_mj) \
+  do {                                                          \
+  } while (0)
+
+#else  // observability compiled in (the default)
+
+#define PROSPECTOR_OBS_CONCAT_INNER_(a, b) a##b
+#define PROSPECTOR_OBS_CONCAT_(a, b) PROSPECTOR_OBS_CONCAT_INNER_(a, b)
+
+/// Scoped trace span covering the rest of the enclosing block. `name`
+/// must be a string literal (stored by pointer, not copied).
+#define PROSPECTOR_SPAN(name)                                 \
+  ::prospector::obs::ScopedSpan PROSPECTOR_OBS_CONCAT_(       \
+      prospector_obs_span_, __LINE__)(name)
+
+// Each call site interns its metric once (registry pointers are stable
+// for the process lifetime; Reset() zeroes values, not registrations) and
+// caches the pointer in a function-local static, so the steady-state cost
+// is one relaxed atomic op, not a locked map lookup.
+#define PROSPECTOR_COUNTER_ADD(name, delta)                              \
+  do {                                                                   \
+    static ::prospector::obs::Counter* const prospector_obs_counter_ =   \
+        ::prospector::obs::MetricsRegistry::Global().counter(name);      \
+    prospector_obs_counter_->Add(delta);                                 \
+  } while (0)
+#define PROSPECTOR_GAUGE_SET(name, value)                                \
+  do {                                                                   \
+    static ::prospector::obs::Gauge* const prospector_obs_gauge_ =       \
+        ::prospector::obs::MetricsRegistry::Global().gauge(name);        \
+    prospector_obs_gauge_->Set(value);                                   \
+  } while (0)
+#define PROSPECTOR_HISTOGRAM_RECORD(name, value)                          \
+  do {                                                                    \
+    static ::prospector::obs::Histogram* const prospector_obs_histogram_ \
+        = ::prospector::obs::MetricsRegistry::Global().histogram(name);  \
+    prospector_obs_histogram_->Record(value);                            \
+  } while (0)
+
+/// Cross-checks an executor-side energy total against the simulator's
+/// independent ledger; counts, logs, and (under fail-fast) aborts on
+/// divergence.
+#define PROSPECTOR_AUDIT_ENERGY(label, claimed_mj, measured_mj) \
+  ::prospector::obs::AuditEnergy(label, claimed_mj, measured_mj)
+
+#endif  // PROSPECTOR_OBS_DISABLED
+
+#endif  // PROSPECTOR_OBS_OBS_H_

@@ -1,0 +1,96 @@
+#ifndef PROSPECTOR_OBS_TRACE_H_
+#define PROSPECTOR_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prospector {
+namespace obs {
+
+/// Microseconds on a monotonic (steady) clock since process start-ish.
+int64_t MonotonicNowUs();
+
+/// One completed span ("X" event in the Chrome trace format).
+struct TraceEvent {
+  const char* name = "";      ///< must be a string literal / static storage
+  const char* category = "";  ///< ditto
+  int tid = 0;                ///< small stable per-thread id
+  int depth = 0;              ///< nesting depth at open time (0 = top level)
+  int64_t ts_us = 0;          ///< open timestamp
+  int64_t dur_us = 0;
+};
+
+/// Process-wide span collector. Disabled by default: when disabled, a
+/// ScopedSpan costs one relaxed atomic load and nothing is recorded.
+/// Completed spans land in per-thread buffers (no cross-thread contention
+/// on the hot path); Drain() merges them, sorted by open time.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a completed span to the calling thread's buffer.
+  void Record(const TraceEvent& event);
+
+  /// Merges and clears every thread's buffer. Events are ordered by
+  /// (ts_us, tid, depth) so equal-state traces serialize identically.
+  std::vector<TraceEvent> Drain();
+
+  /// Drains and writes the spans as a chrome://tracing / Perfetto JSON
+  /// object ({"traceEvents": [...]}). Returns false (with a note on
+  /// stderr) when the file cannot be written.
+  bool WriteChromeTrace(const std::string& path);
+
+  /// Discards all buffered events.
+  void Clear() { Drain(); }
+
+  /// Public only so the implementation's thread_local cache can name it.
+  struct ThreadBuffer {
+    std::mutex mu;  // taken by the owning thread and by Drain()
+    std::vector<TraceEvent> events;
+    int tid = 0;
+  };
+
+ private:
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;  // guards buffers_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  int next_tid_ = 0;
+};
+
+/// RAII span: opens on construction, records on destruction when the
+/// global tracer was enabled at open time. Nesting depth is tracked
+/// per thread, so sibling and child spans reconstruct correctly.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "prospector");
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Nesting depth of the innermost open span on this thread (0 = none);
+  /// exposed for tests.
+  static int CurrentDepth();
+
+ private:
+  const char* name_;
+  const char* category_;
+  int64_t start_us_ = 0;
+  int depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace prospector
+
+#endif  // PROSPECTOR_OBS_TRACE_H_

@@ -67,7 +67,10 @@ TEST(SimplexTest, EqualityRowRequiresPhase1) {
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, 10.0, 1e-8);
   EXPECT_NEAR(s.values[x] + s.values[y], 10.0, 1e-8);
-  EXPECT_GT(s.phase1_iterations + s.phase2_iterations, 0);
+  EXPECT_GT(s.stats.total_iterations(), 0);
+  EXPECT_GT(s.stats.artificials, 0);
+  EXPECT_EQ(s.stats.rows, 1);
+  EXPECT_EQ(s.stats.columns, 2);
 }
 
 TEST(SimplexTest, GreaterEqualRows) {

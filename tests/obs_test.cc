@@ -1,0 +1,363 @@
+// Observability layer: metric determinism under the planner thread pool,
+// trace span nesting, the energy ledger audit (including an injected
+// discrepancy), and the telemetry surfaced through planners and sessions.
+
+#include "src/obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/core/lp_filter_planner.h"
+#include "src/core/session.h"
+#include "src/data/gaussian_field.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace prospector {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+// Concurrent increments from the same pool the planners use must not lose
+// updates ("Parallel" in the name opts this into the TSan CI job).
+TEST(ObsMetricsTest, ParallelCounterIncrementsAreExact) {
+  MetricsRegistry reg;
+  Counter* unit = reg.counter("test.unit");
+  Counter* weighted = reg.counter("test.weighted");
+  constexpr int kN = 100000;
+  util::ThreadPool pool(4);
+  pool.ParallelFor(kN, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      unit->Increment();
+      weighted->Add(i + 1);
+    }
+  });
+  EXPECT_EQ(unit->value(), kN);
+  EXPECT_EQ(weighted->value(),
+            static_cast<int64_t>(kN) * (kN + 1) / 2);
+}
+
+TEST(ObsMetricsTest, SnapshotOrderingIsNameSortedNotRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.counter("z.last")->Increment();
+  reg.counter("a.first")->Add(2);
+  reg.counter("m.mid")->Add(3);
+  reg.gauge("z.g")->Set(1.0);
+  reg.gauge("a.g")->Set(2.0);
+  reg.histogram("z.h")->Record(1.0);
+  reg.histogram("a.h")->Record(2.0);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[1].first, "m.mid");
+  EXPECT_EQ(snap.counters[2].first, "z.last");
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].first, "a.g");
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  EXPECT_EQ(snap.histograms[0].first, "a.h");
+
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"a.first\""), std::string::npos);
+  EXPECT_LT(json.find("\"a.first\""), json.find("\"z.last\""));
+}
+
+TEST(ObsMetricsTest, HistogramTracksCountSumMinMaxAndBuckets) {
+  Histogram h;
+  h.Record(0.5);  // bucket 0: v <= 1
+  h.Record(3.0);  // bucket 2: (2, 4]
+  h.Record(3.5);
+  Histogram::Data d = h.Snapshot();
+  EXPECT_EQ(d.count, 3);
+  EXPECT_DOUBLE_EQ(d.sum, 7.0);
+  EXPECT_DOUBLE_EQ(d.min, 0.5);
+  EXPECT_DOUBLE_EQ(d.max, 3.5);
+  ASSERT_EQ(d.buckets.size(), static_cast<size_t>(Histogram::kNumBuckets));
+  EXPECT_EQ(d.buckets[0], 1);
+  EXPECT_EQ(d.buckets[2], 2);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count, 0);
+}
+
+// The tentpole determinism contract: the counter snapshot after a Plan()
+// call is bit-identical whether the planner ran serial or on 4 threads.
+TEST(ObsMetricsTest, PlannerCountersIdenticalAcrossParallelism) {
+  Rng rng(7);
+  net::GeometricNetworkOptions geo;
+  geo.num_nodes = 60;
+  geo.radio_range = 24.0;
+  auto topo = net::BuildConnectedGeometricNetwork(geo, &rng).value();
+  auto field = data::GaussianField::Random(60, 40, 60, 1, 9, &rng);
+  sampling::SampleSet samples = sampling::SampleSet::ForTopK(60, 8);
+  for (int s = 0; s < 20; ++s) samples.Add(field.Sample(&rng));
+  core::PlannerContext ctx;
+  ctx.topology = &topo;
+
+  auto run = [&](int threads) {
+    MetricsRegistry::Global().Reset();
+    core::LpPlannerOptions opts;
+    opts.threads = threads;
+    core::LpFilterPlanner planner(opts);
+    auto plan = planner.Plan(ctx, samples, core::PlanRequest{8, 14.0});
+    EXPECT_TRUE(plan.ok());
+    return MetricsRegistry::Global().Snapshot();
+  };
+
+  MetricsSnapshot serial = run(1);
+  MetricsSnapshot parallel = run(4);
+  EXPECT_EQ(serial.counters, parallel.counters);
+  EXPECT_EQ(serial.ToJson(), parallel.ToJson());
+#ifndef PROSPECTOR_OBS_DISABLED
+  // With instrumentation on, the LP layer must actually have reported.
+  bool saw_lp = false;
+  for (const auto& [name, value] : serial.counters) {
+    if (name == "lp.solves") saw_lp = value > 0;
+  }
+  EXPECT_TRUE(saw_lp);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+TEST(ObsTraceTest, SpanNestingDepthsAndContainment) {
+  Tracer::Global().Clear();
+  Tracer::Global().Enable();
+  EXPECT_EQ(ScopedSpan::CurrentDepth(), 0);
+  {
+    ScopedSpan outer("test.outer");
+    EXPECT_EQ(ScopedSpan::CurrentDepth(), 1);
+    {
+      ScopedSpan inner("test.inner");
+      EXPECT_EQ(ScopedSpan::CurrentDepth(), 2);
+    }
+    EXPECT_EQ(ScopedSpan::CurrentDepth(), 1);
+  }
+  EXPECT_EQ(ScopedSpan::CurrentDepth(), 0);
+  Tracer::Global().Disable();
+
+  std::vector<TraceEvent> events = Tracer::Global().Drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_STREQ(events[1].name, "test.inner");
+  EXPECT_EQ(events[1].depth, 1);
+  // The child opens no earlier and closes no later than the parent.
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+}
+
+TEST(ObsTraceTest, DisabledTracerRecordsNothing) {
+  Tracer::Global().Clear();
+  Tracer::Global().Disable();
+  { ScopedSpan span("test.invisible"); }
+  EXPECT_TRUE(Tracer::Global().Drain().empty());
+}
+
+TEST(ObsTraceTest, WriteChromeTraceProducesLoadableJson) {
+  Tracer::Global().Clear();
+  Tracer::Global().Enable();
+  {
+    ScopedSpan a("test.write.a");
+    ScopedSpan b("test.write.b");
+  }
+  Tracer::Global().Disable();
+
+  const std::string path = ::testing::TempDir() + "/obs_test_trace.json";
+  ASSERT_TRUE(Tracer::Global().WriteChromeTrace(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  EXPECT_NE(contents.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(contents.find("test.write.a"), std::string::npos);
+  EXPECT_NE(contents.find("\"ph\": \"X\""), std::string::npos);
+  // Writing drains: the buffer is empty afterwards.
+  EXPECT_TRUE(Tracer::Global().Drain().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Energy ledger audit
+// ---------------------------------------------------------------------------
+
+TEST(ObsAuditTest, LedgerAgreementWithinFloatRoundOff) {
+  EXPECT_TRUE(CheckEnergyLedger(5.0, 5.0).ok);
+  EXPECT_TRUE(CheckEnergyLedger(1.0, 1.0 + 1e-8).ok);
+  EXPECT_TRUE(CheckEnergyLedger(0.0, 0.0).ok);
+}
+
+TEST(ObsAuditTest, LedgerDivergenceAndNanFail) {
+  EnergyAuditResult r = CheckEnergyLedger(5.0, 5.2);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NEAR(r.divergence_mj, -0.2, 1e-12);  // signed: claimed - measured
+  EXPECT_FALSE(CheckEnergyLedger(std::nan(""), 1.0).ok);
+  EXPECT_FALSE(CheckEnergyLedger(1.0, std::nan("")).ok);
+}
+
+// Satellite (c): a deliberate discrepancy must be caught, counted, and
+// reported — the audit demonstrably fails when the ledgers disagree.
+TEST(ObsAuditTest, InjectedDiscrepancyBumpsFailureCounter) {
+  MetricsRegistry::Global().Reset();
+  SetEnergyAuditFailFast(false);
+  EXPECT_FALSE(AuditEnergy("test.injected", 10.0, 12.0));
+  EXPECT_TRUE(AuditEnergy("test.agree", 3.0, 3.0));
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  EXPECT_EQ(reg.counter("audit.energy.checks")->value(), 2);
+  EXPECT_EQ(reg.counter("audit.energy.failures")->value(), 1);
+}
+
+TEST(ObsAuditDeathTest, FailFastAbortsOnDivergence) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SetEnergyAuditFailFast(true);
+        AuditEnergy("test.failfast", 10.0, 12.0);
+      },
+      "ENERGY LEDGER AUDIT FAILED");
+}
+
+// The executor's claimed total must match the simulator's independent
+// ledger on a real collection — the audit passes on existing scenarios.
+TEST(ObsAuditTest, ExecutorLedgersAgreeOnCollectionScenario) {
+  MetricsRegistry::Global().Reset();
+  SetEnergyAuditFailFast(true);  // any divergence kills the test hard
+  Rng rng(11);
+  net::GeometricNetworkOptions geo;
+  geo.num_nodes = 50;
+  geo.radio_range = 26.0;
+  auto topo = net::BuildConnectedGeometricNetwork(geo, &rng).value();
+  auto field = data::GaussianField::Random(50, 40, 60, 1, 9, &rng);
+  sampling::SampleSet samples = sampling::SampleSet::ForTopK(50, 5);
+  for (int s = 0; s < 15; ++s) samples.Add(field.Sample(&rng));
+  core::PlannerContext ctx;
+  ctx.topology = &topo;
+  core::LpFilterPlanner planner;
+  auto plan = planner.Plan(ctx, samples, core::PlanRequest{5, 10.0});
+  ASSERT_TRUE(plan.ok());
+
+  net::NetworkSimulator sim(&topo, ctx.energy);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    std::vector<double> truth = field.Sample(&rng);
+    core::ExecutionResult r =
+        core::CollectionExecutor::Execute(*plan, truth, &sim);
+    EXPECT_GT(r.total_energy_mj(), 0.0);
+    sim.ResetStats();
+  }
+  SetEnergyAuditFailFast(false);
+
+#ifndef PROSPECTOR_OBS_DISABLED
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  EXPECT_GE(reg.counter("audit.energy.checks")->value(), 10);
+  EXPECT_EQ(reg.counter("audit.energy.failures")->value(), 0);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Surfaced telemetry: SolveStats, per-edge ledger, session tick fields
+// ---------------------------------------------------------------------------
+
+TEST(ObsStatsTest, SolveStatsSurfaceThroughPlanner) {
+  Rng rng(13);
+  net::GeometricNetworkOptions geo;
+  geo.num_nodes = 40;
+  geo.radio_range = 26.0;
+  auto topo = net::BuildConnectedGeometricNetwork(geo, &rng).value();
+  auto field = data::GaussianField::Random(40, 40, 60, 1, 9, &rng);
+  sampling::SampleSet samples = sampling::SampleSet::ForTopK(40, 5);
+  for (int s = 0; s < 12; ++s) samples.Add(field.Sample(&rng));
+  core::PlannerContext ctx;
+  ctx.topology = &topo;
+
+  core::LpFilterPlanner planner;
+  EXPECT_EQ(planner.last_stats().lp.rows, 0);  // zero before any Plan()
+  auto plan = planner.Plan(ctx, samples, core::PlanRequest{5, 12.0});
+  ASSERT_TRUE(plan.ok());
+  const core::PlannerStats& stats = planner.last_stats();
+  EXPECT_GT(stats.lp.rows, 0);
+  EXPECT_GT(stats.lp.columns, 0);
+  EXPECT_GT(stats.lp.total_iterations(), 0);
+  EXPECT_GE(stats.lp.blands_activations, 0);
+  EXPECT_GE(stats.repair_rounds, 0);
+  EXPECT_GE(stats.fill_passes, 0);
+}
+
+TEST(ObsStatsTest, PerEdgeLedgerSumsMatchAggregate) {
+  Rng rng(17);
+  net::GeometricNetworkOptions geo;
+  geo.num_nodes = 30;
+  geo.radio_range = 30.0;
+  auto topo = net::BuildConnectedGeometricNetwork(geo, &rng).value();
+  net::NetworkSimulator sim(&topo, net::EnergyModel{});
+  for (int u = 0; u < topo.num_nodes(); ++u) {
+    if (u == topo.root()) continue;
+    sim.TryUnicast(u, 1 + (u % 3));
+  }
+  const net::TransmissionStats& stats = sim.stats();
+  int messages = 0, retries = 0, drops = 0;
+  double energy = 0.0;
+  for (const net::EdgeTraffic& e : stats.per_edge) {
+    messages += e.messages;
+    retries += e.retries;
+    drops += e.drops;
+    energy += e.energy_mj;
+  }
+  EXPECT_EQ(messages, stats.unicast_messages);
+  EXPECT_EQ(retries, stats.retries);
+  EXPECT_EQ(drops, stats.drops);
+  EXPECT_NEAR(energy, stats.total_energy_mj, 1e-9);
+}
+
+TEST(ObsSessionTest, TickSurfacesRecallAndReplanLatency) {
+  Rng rng(19);
+  net::GeometricNetworkOptions geo;
+  geo.num_nodes = 50;
+  geo.radio_range = 26.0;
+  auto topo = net::BuildConnectedGeometricNetwork(geo, &rng).value();
+  auto field = data::GaussianField::Random(50, 40, 60, 1, 9, &rng);
+
+  core::SessionOptions opts;
+  opts.k = 5;
+  opts.energy_budget_mj = 10.0;
+  opts.bootstrap_sweeps = 4;
+  opts.audit_every = 5;
+  core::TopKQuerySession session(&topo, {}, {}, opts, 23);
+
+  int scored_epochs = 0;
+  for (int t = 0; t < 30; ++t) {
+    auto r = session.Tick(field.Sample(&rng));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    using Kind = core::TopKQuerySession::TickResult::Kind;
+    if (r->kind == Kind::kQuery || r->kind == Kind::kAudit) {
+      EXPECT_GE(r->recall, 0.0);
+      EXPECT_LE(r->recall, 1.0);
+      ++scored_epochs;
+    } else {
+      EXPECT_LT(r->recall, 0.0);  // no answer, no recall
+    }
+    EXPECT_GE(r->replan_latency_ms, 0.0);
+    if (!r->replanned) {
+      EXPECT_DOUBLE_EQ(r->replan_latency_ms, 0.0);
+    }
+  }
+  EXPECT_GT(scored_epochs, 15);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prospector
