@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/core/plan_eval.h"
+#include "src/core/workspace.h"
 #include "src/obs/obs.h"
 
 namespace prospector {
@@ -34,10 +35,12 @@ Result<QueryPlan> GreedyPlanner::Plan(const PlannerContext& ctx,
   });
 
   // Root paths per candidate, precomputed in parallel (each entry is
-  // independent); the greedy scan itself stays sequential and accumulates
-  // costs in exactly the serial order, so plans are bit-identical for any
-  // thread count.
-  const std::vector<std::vector<int>> paths = ComputePathCache(topo, pool);
+  // independent) and cached across queries when a workspace is attached;
+  // the greedy scan itself stays sequential and accumulates costs in
+  // exactly the serial order, so plans are bit-identical for any thread
+  // count and with or without the cache.
+  const auto paths_ptr = GetPathCache(ctx.workspace, topo, pool);
+  const std::vector<std::vector<int>>& paths = *paths_ptr;
 
   std::vector<char> chosen(n, 0);
   std::vector<char> edge_used(n, 0);

@@ -61,8 +61,11 @@ AccuracyMetrics TopKAccuracy(const ExecutionResult& result,
       ++hit;
     }
   }
-  out.recall = static_cast<double>(hit) /
-               static_cast<double>(std::min<size_t>(k, truth.size()));
+  // An empty truth vector means there is nothing to recall; the query is
+  // vacuously answered in full (mirrors the k <= 0 convention above)
+  // rather than dividing by zero.
+  const size_t denom = std::min<size_t>(k, truth.size());
+  out.recall = denom == 0 ? 1.0 : static_cast<double>(hit) / denom;
   if (out.answered > 0) {
     out.precision = static_cast<double>(hit) / static_cast<double>(out.answered);
   }

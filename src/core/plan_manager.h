@@ -10,7 +10,9 @@
 #include "src/core/plan.h"
 #include "src/core/plan_eval.h"
 #include "src/core/planner.h"
+#include "src/core/workspace.h"
 #include "src/net/simulator.h"
+#include "src/obs/obs.h"
 #include "src/util/thread_pool.h"
 
 namespace prospector {
@@ -58,28 +60,54 @@ class PlanManager {
   Result<bool> MaybeReplan(const PlannerContext& ctx,
                            const sampling::SampleSet& samples,
                            net::NetworkSimulator* sim) {
+    // Steady-state short-circuit (workspace mode only): planners are
+    // deterministic, so unchanged inputs — same topology epoch, same
+    // sample window, same cost model — reproduce the previous candidate
+    // and therefore the previous decision. A repeat of either outcome is
+    // "no dissemination": an installed winner never beats itself by the
+    // improvement threshold.
+    if (ctx.workspace != nullptr && plan_.has_value() &&
+        last_decision_.Matches(*ctx.topology, samples) &&
+        last_decision_fingerprint_ ==
+            PlanningWorkspace::CostFingerprint(ctx)) {
+      PROSPECTOR_COUNTER_ADD("planner.replan_short_circuits", 1);
+      return false;
+    }
     auto candidate = planner_->Plan(ctx, samples, request_);
     if (!candidate.ok()) return candidate.status();
     const int new_hits =
         SampleHits(*candidate, *ctx.topology, samples, options_.pool);
     if (plan_.has_value()) {
-      const int cur_hits =
-          SampleHits(*plan_, *ctx.topology, samples, options_.pool);
+      // The installed plan is fixed, so its score only moves when the
+      // window or topology does — memoized on exactly those versions.
+      if (!installed_hits_.Matches(*ctx.topology, samples)) {
+        installed_hits_.Store(
+            SampleHits(*plan_, *ctx.topology, samples, options_.pool),
+            *ctx.topology, samples);
+      }
+      const int cur_hits = installed_hits_.hits;
       if (new_hits <=
           cur_hits * (1.0 + options_.improvement_threshold)) {
+        RememberDecisionInputs(ctx, samples);
         return false;
       }
     }
     plan_ = std::move(candidate.value());
+    installed_hits_.Store(new_hits, *ctx.topology, samples);
     ChargeInstallCost(*plan_, sim);
     ++disseminations_;
+    RememberDecisionInputs(ctx, samples);
     return true;
   }
 
   /// Drops the installed plan without touching the network — used when the
   /// topology it indexes no longer exists (self-healing rebuild). The next
   /// MaybeReplan then installs unconditionally.
-  void InvalidatePlan() { plan_.reset(); }
+  void InvalidatePlan() {
+    plan_.reset();
+    installed_hits_.Invalidate();
+    last_decision_.Invalidate();
+  }
 
   /// Feeds an accuracy observation (e.g. proven fraction from a periodic
   /// PROSPECTOR Proof run) into the re-sampling policy.
@@ -98,10 +126,23 @@ class PlanManager {
   double last_accuracy() const { return last_accuracy_; }
 
  private:
+  void RememberDecisionInputs(const PlannerContext& ctx,
+                              const sampling::SampleSet& samples) {
+    if (ctx.workspace == nullptr) return;
+    last_decision_.Store(0, *ctx.topology, samples);
+    last_decision_fingerprint_ = PlanningWorkspace::CostFingerprint(ctx);
+  }
+
   Planner* planner_;
   PlanRequest request_;
   PlanManagerOptions options_;
   std::optional<QueryPlan> plan_;
+  /// Memo of SampleHits(installed plan) against the current window.
+  SampleHitsCache installed_hits_;
+  /// (epoch, window, cost) triple of the last completed replan decision;
+  /// gates the workspace-mode short-circuit. `hits` is unused.
+  SampleHitsCache last_decision_;
+  uint64_t last_decision_fingerprint_ = 0;
   int disseminations_ = 0;
   double last_accuracy_ = 1.0;
   bool boosted_ = false;
@@ -118,16 +159,26 @@ using PlannerFactory = std::function<std::unique_ptr<Planner>()>;
 /// `factory`; with a pool the requests run concurrently, and the result
 /// vector is indexed by request either way, so output is identical for
 /// any thread count.
+///
+/// When a workspace is available (the `workspace` argument, or one already
+/// on `ctx`), each request leases the workspace slot keyed by its request
+/// index — a deterministic assignment, so every sweep sees the same cache
+/// history regardless of thread scheduling, and concurrent requests never
+/// contend for one LP entry.
 inline std::vector<Result<QueryPlan>> PlanSweep(
     const PlannerFactory& factory, const PlannerContext& ctx,
     const sampling::SampleSet& samples,
     const std::vector<PlanRequest>& requests,
-    util::ThreadPool* pool = nullptr) {
+    util::ThreadPool* pool = nullptr,
+    PlanningWorkspace* workspace = nullptr) {
   std::vector<Result<QueryPlan>> results(
       requests.size(), Result<QueryPlan>(Status::Internal("not planned")));
   auto solve_range = [&](int begin, int end) {
     for (int i = begin; i < end; ++i) {
-      results[i] = factory()->Plan(ctx, samples, requests[i]);
+      PlannerContext local = ctx;
+      if (workspace != nullptr) local.workspace = workspace;
+      if (local.workspace != nullptr) local.workspace_lease = i;
+      results[i] = factory()->Plan(local, samples, requests[i]);
     }
   };
   const int n = static_cast<int>(requests.size());

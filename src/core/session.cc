@@ -30,6 +30,7 @@ TopKQuerySession::TopKQuerySession(const net::Topology* topology,
                                    SessionOptions options, uint64_t seed)
     : topology_(topology),
       options_(options),
+      workspace_(options.workspace),
       ctx_{topology, energy, failures},
       sim_(topology, energy, failures, seed),
       samples_(sampling::SampleSet::ForTopK(topology->num_nodes(), options.k,
@@ -41,6 +42,7 @@ TopKQuerySession::TopKQuerySession(const net::Topology* topology,
       rng_(seed ^ 0x5e551011),
       seed_(seed),
       original_num_nodes_(topology->num_nodes()) {
+  if (options_.use_workspace) ctx_.workspace = &workspace_;
   if (!options_.faults.empty()) {
     injecting_ = true;
     injector_ = net::FaultInjector(topology->num_nodes(), options_.faults,
@@ -186,6 +188,12 @@ Result<bool> TopKQuerySession::MaybeHeal(TickResult* result) {
   owned_topology_ = std::make_unique<net::Topology>(std::move(rebuilt->topology));
   topology_ = owned_topology_.get();
   ctx_ = PlannerContext{topology_, ctx_.energy, failures};
+  if (options_.use_workspace) {
+    // The rebuilt tree is a new epoch and the remapped window a new
+    // lineage — every cache would miss; Clear releases the memory now.
+    workspace_.Clear();
+    ctx_.workspace = &workspace_;
+  }
   ++rebuilds_;
   sim_ = net::NetworkSimulator(
       topology_, ctx_.energy, failures,

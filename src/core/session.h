@@ -9,6 +9,7 @@
 #include "src/core/lp_filter_planner.h"
 #include "src/core/lp_no_filter_planner.h"
 #include "src/core/plan_manager.h"
+#include "src/core/workspace.h"
 #include "src/net/fault_injector.h"
 #include "src/net/rebuild.h"
 #include "src/net/simulator.h"
@@ -37,6 +38,14 @@ struct SessionOptions {
   int audit_every = 0;
   /// Phase-1 budget of an audit, as a multiple of the proof floor.
   double audit_budget_factor = 1.15;
+
+  // --- Incremental planning (DESIGN.md, "Incremental planning") ---
+  /// The session owns a PlanningWorkspace and threads it through every
+  /// replan, so steady-state epochs reuse cached LP skeletons, warm-start
+  /// the simplex, and skip replans whose inputs did not move. Plans are
+  /// bit-identical either way; disable to force the from-scratch path.
+  bool use_workspace = true;
+  WorkspaceOptions workspace;
 
   // --- Robustness (DESIGN.md, "Failure semantics") ---
   /// Scripted fault timeline, driven by the session clock (event epoch ==
@@ -106,6 +115,8 @@ class TopKQuerySession {
   const QueryPlan& plan() const { return manager_.plan(); }
   const sampling::SampleSet& samples() const { return samples_; }
   const PlanManager& manager() const { return manager_; }
+  /// The session's incremental-planning caches (hit/miss counters etc.).
+  const PlanningWorkspace& workspace() const { return workspace_; }
 
   /// The tree currently in use (the rebuilt one after self-healing).
   const net::Topology& topology() const { return *topology_; }
@@ -142,6 +153,7 @@ class TopKQuerySession {
 
   const net::Topology* topology_;
   SessionOptions options_;
+  PlanningWorkspace workspace_;
   PlannerContext ctx_;
   net::NetworkSimulator sim_;
   sampling::SampleSet samples_;

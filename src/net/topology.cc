@@ -1,11 +1,22 @@
 #include "src/net/topology.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <numeric>
 
 namespace prospector {
 namespace net {
+namespace {
+
+// Epoch source for Topology::epoch(): one stamp per successful
+// FromParents, process-wide, starting at 1 (0 marks the placeholder).
+uint64_t NextEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 Result<Topology> Topology::FromParents(std::vector<int> parents) {
   const int n = static_cast<int>(parents.size());
@@ -30,6 +41,7 @@ Result<Topology> Topology::FromParents(std::vector<int> parents) {
   }
 
   Topology t;
+  t.epoch_ = NextEpoch();
   t.root_ = root;
   t.parents_ = std::move(parents);
   t.children_.assign(n, {});

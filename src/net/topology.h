@@ -1,6 +1,7 @@
 #ifndef PROSPECTOR_NET_TOPOLOGY_H_
 #define PROSPECTOR_NET_TOPOLOGY_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,14 @@ class Topology {
   int num_nodes() const { return static_cast<int>(parents_.size()); }
   int root() const { return root_; }
 
+  /// Construction stamp, unique per FromParents call (copies share it —
+  /// they describe the same tree). A rebuild after node failures
+  /// (Section 4.4) therefore carries a new epoch, which is what
+  /// invalidates every epoch-keyed planning cache: path caches, ancestor
+  /// lists, and LP skeletons key on this value. The default-constructed
+  /// placeholder has epoch 0, which no built topology ever uses.
+  uint64_t epoch() const { return epoch_; }
+
   int parent(int node) const { return parents_[node]; }
   const std::vector<int>& children(int node) const { return children_[node]; }
   /// Hop distance from the root (root: 0).
@@ -91,6 +100,7 @@ class Topology {
   std::vector<Point> positions_;
   int root_ = 0;
   int height_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 /// Parameters for random geometric network construction (Section 5: nodes

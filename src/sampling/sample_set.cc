@@ -1,15 +1,29 @@
 #include "src/sampling/sample_set.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace prospector {
 namespace sampling {
+namespace {
+
+// One process-wide stamp source: every SampleSet creation and every Add
+// draws a fresh value, so (id, version) pairs are unique across all sets
+// and a version can never alias two different window contents.
+uint64_t NextStamp() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 SampleSet::SampleSet(int num_nodes, ContributorFn contributor, size_t window)
     : num_nodes_(num_nodes),
       contributor_(std::move(contributor)),
       window_(window),
-      column_sums_(num_nodes, 0) {}
+      column_sums_(num_nodes, 0),
+      created_version_(NextStamp()),
+      version_(created_version_) {}
 
 SampleSet SampleSet::ForTopK(int num_nodes, int k, size_t window) {
   return SampleSet(
@@ -66,6 +80,8 @@ void SampleSet::Add(std::vector<double> values) {
     ++total_ones_;
   }
   e.values = std::move(values);
+  e.stamp = NextStamp();
+  version_ = e.stamp;
   samples_.push_back(std::move(e));
   if (window_ > 0 && samples_.size() > window_) {
     for (int i : samples_.front().ones) {
@@ -73,7 +89,32 @@ void SampleSet::Add(std::vector<double> values) {
       --total_ones_;
     }
     samples_.pop_front();
+    eviction_log_.push_back(version_);
+    if (eviction_log_.size() > kEvictionLogCap) {
+      eviction_log_floor_ = eviction_log_.front();
+      eviction_log_.pop_front();
+    }
   }
+}
+
+SampleSetDelta SampleSet::DeltaSince(uint64_t version) const {
+  SampleSetDelta d;
+  // Foreign or future versions — including any version remembered before a
+  // Remapped/Recent rebuilt the lineage — cannot be described as a delta.
+  if (version < created_version_ || version > version_) return d;
+  if (version < eviction_log_floor_) return d;  // eviction history trimmed
+  for (auto it = eviction_log_.rbegin();
+       it != eviction_log_.rend() && *it > version; ++it) {
+    ++d.evicted;
+  }
+  for (auto it = samples_.rbegin();
+       it != samples_.rend() && it->stamp > version; ++it) {
+    ++d.added;
+  }
+  // Only a pure append is a usable delta: an eviction shifts the indices
+  // of every retained row, so incremental consumers must rebuild.
+  d.valid = d.evicted == 0;
+  return d;
 }
 
 void SampleSet::AddTrace(const data::Trace& trace) {

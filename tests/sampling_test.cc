@@ -105,6 +105,91 @@ TEST(SampleSetTest, RemappedDropsRemovedNodesAndRecomputesOnes) {
   EXPECT_DOUBLE_EQ(r.value(0, 2), 2.0);
 }
 
+TEST(SampleSetTest, VersionBumpsOnEveryAddAndStampsStayStable) {
+  SampleSet s = SampleSet::ForTopK(4, 2, /*window=*/3);
+  const uint64_t v0 = s.version();
+  EXPECT_EQ(s.id(), v0);  // a fresh set's lineage is its creation stamp
+
+  s.Add({1, 2, 3, 4});
+  const uint64_t v1 = s.version();
+  EXPECT_GT(v1, v0);
+  s.Add({4, 3, 2, 1});
+  EXPECT_GT(s.version(), v1);
+
+  // Stamps identify samples across window slides: indices shift, stamps
+  // follow their row.
+  const uint64_t stamp_second = s.sample_stamp(1);
+  s.Add({5, 6, 7, 8});
+  s.Add({8, 7, 6, 5});  // evicts the first row
+  EXPECT_EQ(s.num_samples(), 3);
+  EXPECT_EQ(s.sample_stamp(0), stamp_second);
+}
+
+TEST(SampleSetTest, DeltaSinceReportsPureAppendsAsValid) {
+  SampleSet s = SampleSet::ForTopK(4, 2, /*window=*/10);
+  s.Add({1, 2, 3, 4});
+  const uint64_t v = s.version();
+  s.Add({2, 3, 4, 5});
+  s.Add({3, 4, 5, 6});
+
+  const SampleSetDelta d = s.DeltaSince(v);
+  EXPECT_TRUE(d.valid);
+  EXPECT_EQ(d.added, 2);
+  EXPECT_EQ(d.evicted, 0);
+
+  // The current version is an empty — still valid — delta.
+  const SampleSetDelta none = s.DeltaSince(s.version());
+  EXPECT_TRUE(none.valid);
+  EXPECT_EQ(none.added, 0);
+}
+
+TEST(SampleSetTest, DeltaSinceInvalidAfterEvictionOrRemap) {
+  SampleSet s = SampleSet::ForTopK(3, 1, /*window=*/2);
+  s.Add({1, 2, 3});
+  const uint64_t v = s.version();
+  s.Add({2, 3, 1});
+  s.Add({3, 1, 2});  // evicts the row v stamped
+  const SampleSetDelta d = s.DeltaSince(v);
+  EXPECT_FALSE(d.valid);
+  EXPECT_EQ(d.evicted, 1);
+
+  // A remap rewrites every row: the new lineage rejects old versions.
+  SampleSet remapped = s.Remapped({0, 1, -1}, 2);
+  EXPECT_NE(remapped.id(), s.id());
+  EXPECT_FALSE(remapped.DeltaSince(v).valid);
+  EXPECT_FALSE(remapped.DeltaSince(s.version()).valid);
+}
+
+TEST(SampleSetTest, RemappedQuantileRecomputesContributorsAfterEviction) {
+  // Median contributor over 5 nodes, window of 2: eviction and remap must
+  // compose — contribution rows are recomputed on the surviving nodes.
+  SampleSet s = SampleSet::ForQuantile(5, 0.5, /*window=*/2);
+  s.Add({10, 20, 30, 40, 50});  // median: node 2
+  s.Add({50, 40, 30, 20, 10});  // median: node 2
+  s.Add({1, 2, 3, 4, 5});       // median: node 2; evicts the first row
+  EXPECT_EQ(s.num_samples(), 2);
+  EXPECT_EQ(s.ones(0), (std::vector<int>{2}));
+  EXPECT_EQ(s.ones(1), (std::vector<int>{2}));
+
+  // Drop node 2 (the median holder). The remapped window re-runs the
+  // contributor on 4-node rows, where the median shifts to a survivor.
+  SampleSet r = s.Remapped({0, 1, -1, 2, 3}, 4);
+  EXPECT_EQ(r.num_samples(), 2);
+  EXPECT_EQ(r.num_nodes(), 4);
+  // Nearest-rank: round(0.5 * 3) = rank 2, the third-smallest of four.
+  // Row 0 is now {50,40,20,10}: third-smallest is 40, new node 1 (old
+  // node 1). Row 1 is {1,2,4,5}: third-smallest is 4, new node 2 (old
+  // node 3).
+  EXPECT_EQ(r.ones(0), (std::vector<int>{1}));
+  EXPECT_EQ(r.ones(1), (std::vector<int>{2}));
+  const std::vector<int> expected_sums{0, 1, 1, 0};
+  EXPECT_EQ(r.column_sums(), expected_sums);
+
+  // Window behavior survives the remap: one more Add still evicts.
+  r.Add({9, 9, 9, 9});
+  EXPECT_EQ(r.num_samples(), 2);
+}
+
 TEST(SampleCollectorTest, SweepCostMatchesChargedCost) {
   Rng rng(4);
   net::Topology topo = net::BuildRandomTree(20, 3, &rng);
