@@ -7,6 +7,29 @@
 namespace prospector {
 namespace core {
 
+void InitLinkEvidence(int num_nodes, ExecutionResult* result) {
+  result->edge_expected.assign(num_nodes, 0);
+  result->edge_delivered.assign(num_nodes, 0);
+}
+
+std::vector<char> ComputeSubtreeLiveness(
+    const net::Topology& topology, const std::vector<char>& edge_expected,
+    const std::vector<char>& edge_delivered) {
+  std::vector<char> live(topology.num_nodes(), 1);
+  for (int u : topology.PreOrder()) {
+    if (u == topology.root()) continue;
+    const bool broken = edge_expected[u] && !edge_delivered[u];
+    live[u] = !broken && live[topology.parent(u)] ? 1 : 0;
+  }
+  return live;
+}
+
+void FinalizeSubtreeLiveness(const net::Topology& topology,
+                             ExecutionResult* result) {
+  result->subtree_live = ComputeSubtreeLiveness(
+      topology, result->edge_expected, result->edge_delivered);
+}
+
 ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
                                             const std::vector<double>& truth,
                                             net::NetworkSimulator* sim,
@@ -29,8 +52,7 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
   const QueryPlan& p = normalized;
 
   ExecutionResult result;
-  result.edge_expected.assign(n, 0);
-  result.edge_delivered.assign(n, 0);
+  InitLinkEvidence(n, &result);
   if (include_trigger) {
     result.trigger_energy_mj = ChargeTriggerCost(p, sim);
   }
@@ -94,15 +116,7 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
     }
   }
   result.collection_energy_mj = collection;
-
-  // A subtree is live when no expected edge on its root path went dark.
-  result.subtree_live.assign(n, 1);
-  for (int u : topo.PreOrder()) {
-    if (u == topo.root()) continue;
-    const bool broken = result.edge_expected[u] && !result.edge_delivered[u];
-    result.subtree_live[u] =
-        !broken && result.subtree_live[topo.parent(u)] ? 1 : 0;
-  }
+  FinalizeSubtreeLiveness(topo, &result);
 
   result.arrived = std::move(inbox[topo.root()]);
   result.arrived.push_back({topo.root(), truth[topo.root()]});

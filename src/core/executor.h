@@ -50,6 +50,24 @@ struct ExecutionResult {
   }
 };
 
+/// Shared degradation-accounting helpers (CollectionExecutor,
+/// ProofExecutor, and SuperplanExecutor all build the same link-evidence
+/// block; keep the semantics in one place).
+
+/// Sizes and zeroes `edge_expected`/`edge_delivered` for a fresh phase.
+void InitLinkEvidence(int num_nodes, ExecutionResult* result);
+
+/// Per node: every expected edge on u's path to the root delivered — i.e.
+/// u's subtree had a working channel to the base station this epoch.
+std::vector<char> ComputeSubtreeLiveness(const net::Topology& topology,
+                                         const std::vector<char>& edge_expected,
+                                         const std::vector<char>& edge_delivered);
+
+/// Convenience: fills `result->subtree_live` from the result's own edge
+/// evidence.
+void FinalizeSubtreeLiveness(const net::Topology& topology,
+                             ExecutionResult* result);
+
 /// Executes non-proof plans (bandwidth plans with local filtering, and
 /// node-selection plans) over the simulator, charging every message.
 class CollectionExecutor {

@@ -56,6 +56,12 @@ Subplan SubplanFor(const QueryPlan& plan, const net::Topology& topology,
 
 std::vector<uint8_t> EncodeSubplan(const Subplan& sp) {
   std::vector<uint8_t> out;
+  // Version-conservative: only superplan subplans (per-query entries
+  // present) need the versioned form; everything else stays byte-exact
+  // with the historical version-0 encoding.
+  if (!sp.query_entries.empty()) {
+    out.push_back(static_cast<uint8_t>(kSubplanVersionTag | 1));
+  }
   uint8_t flags = 0;
   if (sp.proof_carrying) flags |= 1;
   if (sp.node_selection) flags |= 2;
@@ -68,30 +74,74 @@ std::vector<uint8_t> EncodeSubplan(const Subplan& sp) {
     PutVarint(&out, static_cast<uint32_t>(child));
     out.push_back(bw);
   }
+  if (!sp.query_entries.empty()) {
+    out.push_back(Cap255(static_cast<int>(sp.query_entries.size())));
+    for (const SubplanQueryEntry& e : sp.query_entries) {
+      PutVarint(&out, static_cast<uint32_t>(e.query_id));
+      out.push_back(e.k);
+      out.push_back(e.bandwidth);
+    }
+  }
   return out;
 }
 
+int SubplanWireVersion(const std::vector<uint8_t>& bytes) {
+  if (bytes.empty()) return -1;
+  // Version-0 flag bytes only use bits 0-2, so 0xC0-prefixed bytes are
+  // unambiguously version tags.
+  if ((bytes[0] & kSubplanVersionTag) == kSubplanVersionTag) {
+    return bytes[0] & static_cast<uint8_t>(~kSubplanVersionTag);
+  }
+  return 0;
+}
+
 Result<Subplan> DecodeSubplan(const std::vector<uint8_t>& bytes) {
-  if (bytes.size() < 4) {
+  const int version = SubplanWireVersion(bytes);
+  if (version < 0) return Status::InvalidArgument("subplan too short");
+  if (version > kSubplanWireVersion) {
+    return Status::InvalidArgument("unsupported subplan wire version");
+  }
+  size_t pos = version > 0 ? 1 : 0;
+  if (bytes.size() < pos + 4) {
     return Status::InvalidArgument("subplan too short");
   }
   Subplan sp;
-  sp.proof_carrying = bytes[0] & 1;
-  sp.node_selection = bytes[0] & 2;
-  sp.chosen = bytes[0] & 4;
-  sp.k = bytes[1];
-  sp.outgoing_bandwidth = bytes[2];
-  const int m = bytes[3];
-  size_t pos = 4;
+  sp.proof_carrying = bytes[pos] & 1;
+  sp.node_selection = bytes[pos] & 2;
+  sp.chosen = bytes[pos] & 4;
+  sp.k = bytes[pos + 1];
+  sp.outgoing_bandwidth = bytes[pos + 2];
+  const int m = bytes[pos + 3];
+  pos += 4;
   for (int i = 0; i < m; ++i) {
     uint32_t child = 0;
-    if (!GetVarint(bytes, &pos, &child) || pos >= bytes.size() + 0) {
+    if (!GetVarint(bytes, &pos, &child)) {
       return Status::InvalidArgument("truncated subplan child list");
     }
     if (pos >= bytes.size()) {
       return Status::InvalidArgument("truncated subplan bandwidth");
     }
     sp.child_bandwidth.emplace_back(static_cast<int>(child), bytes[pos++]);
+  }
+  if (version >= 1) {
+    if (pos >= bytes.size()) {
+      return Status::InvalidArgument("truncated subplan query count");
+    }
+    const int nq = bytes[pos++];
+    for (int i = 0; i < nq; ++i) {
+      uint32_t qid = 0;
+      if (!GetVarint(bytes, &pos, &qid)) {
+        return Status::InvalidArgument("truncated subplan query id");
+      }
+      if (pos + 2 > bytes.size()) {
+        return Status::InvalidArgument("truncated subplan query entry");
+      }
+      SubplanQueryEntry e;
+      e.query_id = static_cast<int>(qid);
+      e.k = bytes[pos++];
+      e.bandwidth = bytes[pos++];
+      sp.query_entries.push_back(e);
+    }
   }
   if (pos != bytes.size()) {
     return Status::InvalidArgument("trailing bytes in subplan");

@@ -17,13 +17,39 @@ namespace core {
 /// plan, i.e., how many values it expects from each of its children and
 /// how many values need to be returned to its parent").
 ///
-/// Subplan layout (byte-exact, little-endian):
+/// Version-0 subplan layout (byte-exact, little-endian):
 ///   [0]    flags: bit0 proof-carrying, bit1 node-selection, bit2 chosen
 ///   [1]    k (uint8, capped at 255)
 ///   [2]    own outgoing bandwidth (uint8, capped)
 ///   [3]    number of participating children m (uint8)
 ///   then m x { varint child id, uint8 child bandwidth }
 /// Varints are LEB128 (1 byte for ids < 128 — the common case).
+///
+/// Versioned layout (format evolution; see DESIGN.md "Multi-query
+/// engine"): a leading tag byte 0xC0|version, then the version body.
+/// Version-0 flags only ever use bits 0-2, so a tag byte is unambiguous
+/// and version-0 blobs (no tag) stay readable forever. Version 1 extends
+/// the version-0 body with per-query demux entries for merged superplans:
+///   [tag 0xC1] <version-0 body> [nq] then nq x { varint query id,
+///   uint8 query k, uint8 query outgoing bandwidth }
+/// Encoding is conservative: a subplan with no query entries serializes
+/// as version 0, so single-query deployments (and their charged install
+/// bytes) are bit-identical to the historical format.
+constexpr uint8_t kSubplanVersionTag = 0xC0;  ///< tag byte = 0xC0 | version
+constexpr int kSubplanWireVersion = 1;        ///< newest writable version
+
+/// Per-query demux entry of a merged superplan's subplan: how many values
+/// this node may forward for that query, and the query's k.
+struct SubplanQueryEntry {
+  int query_id = 0;
+  uint8_t k = 0;
+  uint8_t bandwidth = 0;
+
+  bool operator==(const SubplanQueryEntry& o) const {
+    return query_id == o.query_id && k == o.k && bandwidth == o.bandwidth;
+  }
+};
+
 struct Subplan {
   bool proof_carrying = false;
   bool node_selection = false;
@@ -31,15 +57,23 @@ struct Subplan {
   uint8_t k = 0;
   uint8_t outgoing_bandwidth = 0;
   std::vector<std::pair<int, uint8_t>> child_bandwidth;
+  /// Merged superplans only (version >= 1 on the wire): per-query limits.
+  std::vector<SubplanQueryEntry> query_entries;
 };
 
 /// Extracts the subplan node `node` must store.
 Subplan SubplanFor(const QueryPlan& plan, const net::Topology& topology,
                    int node);
 
-/// Serializes / parses the wire form.
+/// Serializes / parses the wire form. Encode writes version 0 when the
+/// subplan carries no query entries and version 1 otherwise; Decode reads
+/// both (backward-compatible with pre-versioning blobs).
 std::vector<uint8_t> EncodeSubplan(const Subplan& subplan);
 Result<Subplan> DecodeSubplan(const std::vector<uint8_t>& bytes);
+
+/// Wire version of an encoded blob: 0 for legacy (untagged) subplans, the
+/// tagged version otherwise; -1 for an empty buffer.
+int SubplanWireVersion(const std::vector<uint8_t>& bytes);
 
 /// Exact wire size of node's subplan message body, in bytes.
 int SubplanWireBytes(const QueryPlan& plan, const net::Topology& topology,

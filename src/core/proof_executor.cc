@@ -50,8 +50,7 @@ ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
   mopup_values_lost_ = 0;
   mopup_values_moved_ = 0;
   mopup_requests_ = 0;
-  result.edge_expected.assign(n, 0);
-  result.edge_delivered.assign(n, 0);
+  InitLinkEvidence(n, &result);
   std::vector<std::vector<Reading>> sent(n);   // what each node passed up
   std::vector<int>& sent_proven = sent_proven_;
 
@@ -141,14 +140,7 @@ ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
     }
   }
 
-  // A subtree is live when no expected edge on its root path went dark.
-  result.subtree_live.assign(n, 1);
-  for (int u : topo.PreOrder()) {
-    if (u == topo.root()) continue;
-    const bool broken = result.edge_expected[u] && !result.edge_delivered[u];
-    result.subtree_live[u] =
-        !broken && result.subtree_live[topo.parent(u)] ? 1 : 0;
-  }
+  FinalizeSubtreeLiveness(topo, &result);
 
   result.collection_energy_mj = collection;
   result.arrived = retrieved_[topo.root()];

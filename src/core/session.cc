@@ -1,25 +1,49 @@
 #include "src/core/session.h"
 
-#include <algorithm>
-
-#include "src/core/executor.h"
-#include "src/obs/obs.h"
-#include "src/obs/trace.h"
+#include <utility>
 
 namespace prospector {
 namespace core {
 namespace {
 
-std::unique_ptr<Planner> MakePlanner(const SessionOptions& options) {
-  switch (options.planner) {
-    case SessionOptions::PlannerChoice::kGreedy:
-      return std::make_unique<GreedyPlanner>();
-    case SessionOptions::PlannerChoice::kLpNoFilter:
-      return std::make_unique<LpNoFilterPlanner>(options.lp);
-    case SessionOptions::PlannerChoice::kLpFilter:
-      return std::make_unique<LpFilterPlanner>(options.lp);
+QueryEngineOptions EngineOptionsFrom(const SessionOptions& options) {
+  QueryEngineOptions eo;
+  eo.sample_window = options.sample_window;
+  eo.bootstrap_sweeps = options.bootstrap_sweeps;
+  eo.use_workspace = options.use_workspace;
+  eo.workspace = options.workspace;
+  eo.faults = options.faults;
+  eo.lossy = options.lossy;
+  eo.dead_after_epochs = options.dead_after_epochs;
+  eo.rebuild_radio_range = options.rebuild_radio_range;
+  return eo;
+}
+
+QuerySpec SpecFrom(const SessionOptions& options) {
+  QuerySpec spec;
+  spec.k = options.k;
+  spec.energy_budget_mj = options.energy_budget_mj;
+  spec.planner = options.planner;
+  spec.lp = options.lp;
+  spec.manager = options.manager;
+  spec.audit_every = options.audit_every;
+  spec.audit_budget_factor = options.audit_budget_factor;
+  return spec;
+}
+
+TopKQuerySession::TickResult::Kind KindFrom(
+    QueryEngine::QueryEpochKind kind) {
+  switch (kind) {
+    case QueryEngine::QueryEpochKind::kBootstrap:
+      return TopKQuerySession::TickResult::Kind::kBootstrap;
+    case QueryEngine::QueryEpochKind::kExplore:
+      return TopKQuerySession::TickResult::Kind::kExplore;
+    case QueryEngine::QueryEpochKind::kAudit:
+      return TopKQuerySession::TickResult::Kind::kAudit;
+    case QueryEngine::QueryEpochKind::kQuery:
+      return TopKQuerySession::TickResult::Kind::kQuery;
   }
-  return std::make_unique<LpFilterPlanner>(options.lp);
+  return TopKQuerySession::TickResult::Kind::kQuery;
 }
 
 }  // namespace
@@ -28,309 +52,29 @@ TopKQuerySession::TopKQuerySession(const net::Topology* topology,
                                    net::EnergyModel energy,
                                    net::FailureModel failures,
                                    SessionOptions options, uint64_t seed)
-    : topology_(topology),
-      options_(options),
-      workspace_(options.workspace),
-      ctx_{topology, energy, failures},
-      sim_(topology, energy, failures, seed),
-      samples_(sampling::SampleSet::ForTopK(topology->num_nodes(), options.k,
-                                            options.sample_window)),
-      planner_(MakePlanner(options)),
-      manager_(planner_.get(),
-               PlanRequest{options.k, options.energy_budget_mj},
-               options.manager),
-      rng_(seed ^ 0x5e551011),
-      seed_(seed),
-      original_num_nodes_(topology->num_nodes()) {
-  if (options_.use_workspace) ctx_.workspace = &workspace_;
-  if (!options_.faults.empty()) {
-    injecting_ = true;
-    injector_ = net::FaultInjector(topology->num_nodes(), options_.faults,
-                                   topology->root());
-    sim_.set_fault_injector(&injector_);
-  }
-  sim_.set_lossy_transport(options_.lossy);
-  orig_of_.resize(topology->num_nodes());
-  for (int i = 0; i < topology->num_nodes(); ++i) orig_of_[i] = i;
-  silent_.assign(topology->num_nodes(), 0);
-}
-
-Result<bool> TopKQuerySession::Replan() {
-  PROSPECTOR_SPAN("session.replan");
-  const int64_t start_us = obs::MonotonicNowUs();
-  auto changed = manager_.MaybeReplan(ctx_, samples_, &sim_);
-  last_replan_latency_ms_ =
-      static_cast<double>(obs::MonotonicNowUs() - start_us) / 1000.0;
-  if (changed.ok() && *changed) {
-    install_energy_ += sim_.TakeStats().total_energy_mj;
-    PROSPECTOR_COUNTER_ADD("session.replans", 1);
-    PROSPECTOR_HISTOGRAM_RECORD("session.replan_latency_us",
-                                last_replan_latency_ms_ * 1000.0);
-  } else {
-    sim_.ResetStats();
-  }
-  return changed;
-}
-
-void TopKQuerySession::ObserveEdges(const std::vector<char>& expected,
-                                    const std::vector<char>& delivered) {
-  if (options_.dead_after_epochs <= 0) return;
-  if (expected.size() != silent_.size() ||
-      delivered.size() != silent_.size()) {
-    return;
-  }
-  for (size_t u = 0; u < expected.size(); ++u) {
-    if (!expected[u]) continue;  // no evidence either way this epoch
-    silent_[u] = delivered[u] ? 0 : silent_[u] + 1;
-  }
-}
-
-void TopKQuerySession::FinishTick(
-    [[maybe_unused]] const TickResult* result) const {
-  PROSPECTOR_COUNTER_ADD("session.values_lost",
-                         static_cast<int64_t>(result->values_lost));
-  if (result->degraded) {
-    PROSPECTOR_COUNTER_ADD("session.degraded_epochs", 1);
-  }
-  PROSPECTOR_GAUGE_SET("session.degraded", result->degraded ? 1.0 : 0.0);
-  if (result->recall >= 0.0) {
-    PROSPECTOR_HISTOGRAM_RECORD("session.recall", result->recall);
-  }
-  switch (result->kind) {
-    case TickResult::Kind::kBootstrap:
-      PROSPECTOR_COUNTER_ADD("session.bootstrap_epochs", 1);
-      break;
-    case TickResult::Kind::kExplore:
-      PROSPECTOR_COUNTER_ADD("session.explore_epochs", 1);
-      break;
-    case TickResult::Kind::kAudit:
-      PROSPECTOR_COUNTER_ADD("session.audit_epochs", 1);
-      break;
-    case TickResult::Kind::kQuery:
-      PROSPECTOR_COUNTER_ADD("session.query_epochs", 1);
-      break;
-  }
-}
-
-void TopKQuerySession::TranslateAnswer(std::vector<Reading>* answer) const {
-  if (owned_topology_ == nullptr) return;  // ids are still original
-  for (Reading& r : *answer) r.node = orig_of_[r.node];
-}
-
-Result<bool> TopKQuerySession::MaybeHeal(TickResult* result) {
-  if (options_.dead_after_epochs <= 0) return false;
-  const int n = topology_->num_nodes();
-  std::vector<char> suspect(n, 0);
-  bool any = false;
-  for (int u = 0; u < n; ++u) {
-    if (u == topology_->root()) continue;
-    if (silent_[u] >= options_.dead_after_epochs) {
-      suspect[u] = 1;
-      any = true;
-    }
-  }
-  if (!any) return false;
-
-  // Only topmost suspects are declared dead: everything beneath a dead
-  // node is equally silent, but the break sits at the topmost dark edge —
-  // killing the descendants too would throw away live hardware.
-  std::vector<int> dead;
-  for (int u = 0; u < n; ++u) {
-    if (!suspect[u]) continue;
-    bool shadowed = false;
-    for (int a = topology_->parent(u); a != net::Topology::kNoParent;
-         a = topology_->parent(a)) {
-      if (suspect[a]) {
-        shadowed = true;
-        break;
-      }
-    }
-    if (!shadowed) dead.push_back(u);
-  }
-  PROSPECTOR_SPAN("session.heal");
-  PROSPECTOR_COUNTER_ADD("session.watchdog.declared_dead",
-                         static_cast<int64_t>(dead.size()));
-
-  auto rebuilt = net::RebuildWithoutNodes(*topology_, dead,
-                                          options_.rebuild_radio_range);
-  if (!rebuilt.ok()) return rebuilt.status();
-  const std::vector<int>& new_id = rebuilt->new_id;
-  const int new_n = rebuilt->topology.num_nodes();
-
-  for (int i = 0; i < n; ++i) {
-    if (new_id[i] < 0) result->removed_nodes.push_back(orig_of_[i]);
-  }
-  std::sort(result->removed_nodes.begin(), result->removed_nodes.end());
-
-  // Re-index everything that outlives the old tree: the id translation,
-  // the silence counters (old evidence described old edges — start
-  // fresh), the sample window, the failure model, and pending fault
-  // events.
-  std::vector<int> new_orig(new_n, -1);
-  for (int i = 0; i < n; ++i) {
-    if (new_id[i] >= 0) new_orig[new_id[i]] = orig_of_[i];
-  }
-  orig_of_ = std::move(new_orig);
-  silent_.assign(new_n, 0);
-  samples_ = samples_.Remapped(new_id, new_n);
-  net::FailureModel failures = ctx_.failures;
-  if (failures.edge_failure_prob.size() > 1) {
-    std::vector<double> remapped(new_n, 0.0);
-    const int covered =
-        std::min<int>(n, static_cast<int>(failures.edge_failure_prob.size()));
-    for (int i = 0; i < covered; ++i) {
-      if (new_id[i] >= 0) remapped[new_id[i]] = failures.edge_failure_prob[i];
-    }
-    failures.edge_failure_prob = std::move(remapped);
-  }
-  if (injecting_) injector_.Remap(new_id, new_n);
-
-  owned_topology_ = std::make_unique<net::Topology>(std::move(rebuilt->topology));
-  topology_ = owned_topology_.get();
-  ctx_ = PlannerContext{topology_, ctx_.energy, failures};
-  if (options_.use_workspace) {
-    // The rebuilt tree is a new epoch and the remapped window a new
-    // lineage — every cache would miss; Clear releases the memory now.
-    workspace_.Clear();
-    ctx_.workspace = &workspace_;
-  }
-  ++rebuilds_;
-  sim_ = net::NetworkSimulator(
-      topology_, ctx_.energy, failures,
-      seed_ ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(rebuilds_)));
-  if (injecting_) sim_.set_fault_injector(&injector_);
-  sim_.set_lossy_transport(options_.lossy);
-
-  // The installed plan indexes nodes that no longer exist; replace it
-  // unconditionally on the surviving topology.
-  manager_.InvalidatePlan();
-  auto changed = Replan();
-  if (!changed.ok()) return changed.status();
-  result->replanned = *changed;
-  result->rebuilt = true;
-  PROSPECTOR_COUNTER_ADD("session.watchdog.rebuilds", 1);
-  PROSPECTOR_COUNTER_ADD("session.watchdog.removed_nodes",
-                         static_cast<int64_t>(result->removed_nodes.size()));
-  return true;
-}
+    : engine_(topology, energy, failures, EngineOptionsFrom(options), seed),
+      qid_(engine_.AddQuery(SpecFrom(options))) {}
 
 Result<TopKQuerySession::TickResult> TopKQuerySession::Tick(
     const std::vector<double>& truth) {
-  if (static_cast<int>(truth.size()) != original_num_nodes_) {
-    return Status::InvalidArgument("truth vector does not match network size");
-  }
-  TickResult result;
-  PROSPECTOR_SPAN("session.tick");
-  PROSPECTOR_COUNTER_ADD("session.epochs", 1);
-  const int this_epoch = epoch_++;
-  if (injecting_) injector_.AdvanceTo(this_epoch);
-
-  // Project the caller's original-indexed readings onto the current tree.
-  std::vector<double> projected;
-  const std::vector<double>* cur_truth = &truth;
-  if (owned_topology_ != nullptr) {
-    projected.resize(topology_->num_nodes());
-    for (int i = 0; i < topology_->num_nodes(); ++i) {
-      projected[i] = truth[orig_of_[i]];
-    }
-    cur_truth = &projected;
-  }
-
-  // Bootstrap and exploration epochs: full sweep, then reconsider the plan.
-  const bool bootstrap = this_epoch < options_.bootstrap_sweeps;
-  const bool explore =
-      bootstrap || rng_.Bernoulli(manager_.explore_probability());
-  if (explore) {
-    result.kind = bootstrap ? TickResult::Kind::kBootstrap
-                            : TickResult::Kind::kExplore;
-    const std::vector<double>* fallback =
-        samples_.num_samples() > 0
-            ? &samples_.sample_values(samples_.num_samples() - 1)
-            : nullptr;
-    const sampling::SweepReport sweep =
-        collector_.CollectSampleReport(*cur_truth, &sim_, &samples_, fallback);
-    sampling_energy_ += sweep.energy_mj;
-    PROSPECTOR_AUDIT_ENERGY("session.explore", sweep.energy_mj,
-                            sim_.stats().total_energy_mj);
-    sim_.ResetStats();
-    result.degraded = sweep.degraded;
-    result.values_lost = sweep.values_lost;
-    result.energy_mj = sweep.energy_mj;
-    ObserveEdges(sweep.edge_expected, sweep.edge_delivered);
-    auto healed = MaybeHeal(&result);
-    if (!healed.ok()) return healed.status();
-    // Reconsider the plan once the window is primed (the heal path has
-    // already replanned on the new tree).
-    if (!result.rebuilt && this_epoch + 1 >= options_.bootstrap_sweeps) {
-      auto changed = Replan();
-      if (!changed.ok()) return changed.status();
-      result.replanned = *changed;
-    }
-    if (result.replanned) result.replan_latency_ms = last_replan_latency_ms_;
-    FinishTick(&result);
-    return result;
-  }
-
-  if (!manager_.has_plan()) {
-    auto changed = Replan();
-    if (!changed.ok()) return changed.status();
-    result.replanned = *changed;
-    if (result.replanned) result.replan_latency_ms = last_replan_latency_ms_;
-  }
-
-  // Audit epoch: a proof-backed exact query measuring true accuracy.
-  if (options_.audit_every > 0 &&
-      ++queries_since_audit_ >= options_.audit_every) {
-    queries_since_audit_ = 0;
-    result.kind = TickResult::Kind::kAudit;
-    auto exact = RunProspectorExact(
-        ctx_, samples_, options_.k,
-        ProofPlanner::MinimumCost(ctx_) * options_.audit_budget_factor,
-        *cur_truth, &sim_, options_.lp);
-    [[maybe_unused]] const double audit_ledger_mj =
-        sim_.stats().total_energy_mj;
-    sim_.ResetStats();
-    if (!exact.ok()) return exact.status();
-    PROSPECTOR_AUDIT_ENERGY("session.audit", exact->total_energy_mj(),
-                            audit_ledger_mj);
-    audit_energy_ += exact->total_energy_mj();
-    result.answer = exact->answer;
-    TranslateAnswer(&result.answer);
-    result.proven = exact->phase1_proven;
-    result.recall = TopKRecall(result.answer, truth, options_.k);
-    result.energy_mj = exact->total_energy_mj();
-    result.degraded = exact->degraded;
-    result.values_lost = exact->values_lost;
-    manager_.ObserveAccuracy(static_cast<double>(exact->phase1_proven) /
-                             options_.k);
-    ObserveEdges(exact->edge_expected, exact->edge_delivered);
-    auto healed = MaybeHeal(&result);
-    if (!healed.ok()) return healed.status();
-    if (result.replanned) result.replan_latency_ms = last_replan_latency_ms_;
-    FinishTick(&result);
-    return result;
-  }
-
-  // Ordinary query epoch.
-  result.kind = TickResult::Kind::kQuery;
-  ExecutionResult r =
-      CollectionExecutor::Execute(manager_.plan(), *cur_truth, &sim_);
-  PROSPECTOR_AUDIT_ENERGY("session.query", r.total_energy_mj(),
-                          sim_.stats().total_energy_mj);
-  sim_.ResetStats();
-  query_energy_ += r.total_energy_mj();
-  result.answer = std::move(r.answer);
-  TranslateAnswer(&result.answer);
-  result.recall = TopKRecall(result.answer, truth, options_.k);
-  result.energy_mj = r.total_energy_mj();
-  result.degraded = r.degraded;
-  result.values_lost = r.values_lost;
-  ObserveEdges(r.edge_expected, r.edge_delivered);
-  auto healed = MaybeHeal(&result);
-  if (!healed.ok()) return healed.status();
-  if (result.replanned) result.replan_latency_ms = last_replan_latency_ms_;
-  FinishTick(&result);
-  return result;
+  auto epoch = engine_.Tick(truth);
+  if (!epoch.ok()) return epoch.status();
+  TickResult out;
+  // The session registered exactly one query, so the epoch result carries
+  // exactly one per-query entry — this session's.
+  QueryEngine::QueryTickResult& qr = epoch->per_query.front();
+  out.kind = KindFrom(qr.kind);
+  out.answer = std::move(qr.answer);
+  out.energy_mj = qr.energy_mj;
+  out.replanned = qr.replanned;
+  out.proven = qr.proven;
+  out.recall = qr.recall;
+  out.replan_latency_ms = qr.replan_latency_ms;
+  out.degraded = qr.degraded;
+  out.values_lost = qr.values_lost;
+  out.removed_nodes = std::move(epoch->removed_nodes);
+  out.rebuilt = epoch->rebuilt;
+  return out;
 }
 
 }  // namespace core

@@ -1,25 +1,16 @@
 #ifndef PROSPECTOR_CORE_SESSION_H_
 #define PROSPECTOR_CORE_SESSION_H_
 
-#include <memory>
 #include <vector>
 
-#include "src/core/exact.h"
-#include "src/core/greedy_planner.h"
-#include "src/core/lp_filter_planner.h"
-#include "src/core/lp_no_filter_planner.h"
-#include "src/core/plan_manager.h"
-#include "src/core/workspace.h"
-#include "src/net/fault_injector.h"
-#include "src/net/rebuild.h"
-#include "src/net/simulator.h"
-#include "src/sampling/collector.h"
-#include "src/sampling/sample_set.h"
+#include "src/core/query_engine.h"
 
 namespace prospector {
 namespace core {
 
-/// Configuration of a standing top-k query.
+/// Configuration of a standing top-k query. Kept flat for source
+/// compatibility; internally this splits into the engine-wide knobs
+/// (QueryEngineOptions) and the per-query spec (QuerySpec).
 struct SessionOptions {
   int k = 10;
   double energy_budget_mj = 10.0;
@@ -28,7 +19,7 @@ struct SessionOptions {
   /// The first epochs always run full sweeps to seed the window.
   int bootstrap_sweeps = 8;
   /// Which PROSPECTOR plans the queries.
-  enum class PlannerChoice { kGreedy, kLpNoFilter, kLpFilter };
+  using PlannerChoice = ::prospector::core::PlannerChoice;
   PlannerChoice planner = PlannerChoice::kLpFilter;
   LpPlannerOptions lp;
   PlanManagerOptions manager;
@@ -66,12 +57,13 @@ struct SessionOptions {
 };
 
 /// One-stop standing top-k query over a deployed network — the facade a
-/// downstream user adopts. The session owns the sliding sample window, the
-/// planner and re-planning policy, the exploration schedule, the optional
-/// proof-backed accuracy audits, and the energy ledger. Call Tick() once
-/// per epoch with the network's current readings; the session decides
-/// whether that epoch explores (full sweep), audits, or answers the query
-/// with the installed plan.
+/// downstream user adopts. Since the multi-query refactor this is a thin
+/// single-query adapter over core::QueryEngine (see DESIGN.md,
+/// "Multi-query engine"): the engine owns the sample window, planner,
+/// exploration schedule, audits, watchdog, and energy ledger; the session
+/// registers exactly one query at construction and translates the
+/// engine's per-epoch result back into the historical TickResult shape.
+/// Behavior is bit-identical to the pre-refactor session.
 class TopKQuerySession {
  public:
   TopKQuerySession(const net::Topology* topology, net::EnergyModel energy,
@@ -110,78 +102,44 @@ class TopKQuerySession {
   /// nodes are simply ignored.
   Result<TickResult> Tick(const std::vector<double>& truth);
 
-  int epoch() const { return epoch_; }
-  bool has_plan() const { return manager_.has_plan(); }
-  const QueryPlan& plan() const { return manager_.plan(); }
-  const sampling::SampleSet& samples() const { return samples_; }
-  const PlanManager& manager() const { return manager_; }
+  int epoch() const { return engine_.epoch(); }
+  bool has_plan() const { return engine_.has_plan(qid_); }
+  const QueryPlan& plan() const { return engine_.plan(qid_); }
+  const sampling::SampleSet& samples() const { return engine_.samples(qid_); }
+  const PlanManager& manager() const { return engine_.manager(qid_); }
   /// The session's incremental-planning caches (hit/miss counters etc.).
-  const PlanningWorkspace& workspace() const { return workspace_; }
+  const PlanningWorkspace& workspace() const { return engine_.workspace(); }
 
   /// The tree currently in use (the rebuilt one after self-healing).
-  const net::Topology& topology() const { return *topology_; }
+  const net::Topology& topology() const { return engine_.topology(); }
   /// How many self-healing rebuilds have happened.
-  int rebuilds() const { return rebuilds_; }
+  int rebuilds() const { return engine_.rebuilds(); }
   /// Current id -> construction-time id.
-  const std::vector<int>& original_ids() const { return orig_of_; }
+  const std::vector<int>& original_ids() const {
+    return engine_.original_ids();
+  }
   /// The active injector, or nullptr when no faults were scripted.
   const net::FaultInjector* fault_injector() const {
-    return injecting_ ? &injector_ : nullptr;
+    return engine_.fault_injector();
   }
 
   /// Cumulative energy by activity, mJ.
-  double query_energy_mj() const { return query_energy_; }
-  double sampling_energy_mj() const { return sampling_energy_; }
-  double audit_energy_mj() const { return audit_energy_; }
-  double install_energy_mj() const { return install_energy_; }
-  double total_energy_mj() const {
-    return query_energy_ + sampling_energy_ + audit_energy_ + install_energy_;
-  }
+  double query_energy_mj() const { return engine_.query_energy_mj(); }
+  double sampling_energy_mj() const { return engine_.sampling_energy_mj(); }
+  double audit_energy_mj() const { return engine_.audit_energy_mj(); }
+  double install_energy_mj() const { return engine_.install_energy_mj(); }
+  double total_energy_mj() const { return engine_.total_energy_mj(); }
+
+  /// The engine underneath — the migration path for callers that want to
+  /// co-register more queries on this session's radio.
+  QueryEngine& engine() { return engine_; }
+  const QueryEngine& engine() const { return engine_; }
+  /// This session's query id inside engine().
+  int query_id() const { return qid_; }
 
  private:
-  Result<bool> Replan();
-  /// Feeds one epoch's per-edge link evidence into the silence counters.
-  void ObserveEdges(const std::vector<char>& expected,
-                    const std::vector<char>& delivered);
-  /// Answers leave the session in construction-time ids.
-  void TranslateAnswer(std::vector<Reading>* answer) const;
-  /// Declares long-silent subtrees dead, rebuilds, remaps, replans.
-  /// Returns whether a rebuild happened.
-  Result<bool> MaybeHeal(TickResult* result);
-  /// Records per-epoch observability metrics for a finished tick.
-  void FinishTick(const TickResult* result) const;
-
-  const net::Topology* topology_;
-  SessionOptions options_;
-  PlanningWorkspace workspace_;
-  PlannerContext ctx_;
-  net::NetworkSimulator sim_;
-  sampling::SampleSet samples_;
-  sampling::SampleCollector collector_;
-  std::unique_ptr<Planner> planner_;
-  PlanManager manager_;
-  Rng rng_;
-  int epoch_ = 0;
-  int queries_since_audit_ = 0;
-  double last_replan_latency_ms_ = 0.0;
-  double query_energy_ = 0.0;
-  double sampling_energy_ = 0.0;
-  double audit_energy_ = 0.0;
-  double install_energy_ = 0.0;
-
-  // Robustness state. After a self-healing rebuild `owned_topology_`
-  // replaces the caller's topology and `topology_`/`ctx_`/`sim_` all point
-  // at it; `orig_of_[i]` maps current node i back to its construction-time
-  // id. `silent_[i]` counts consecutive observed epochs in which node i's
-  // edge was expected to carry traffic but delivered nothing.
-  uint64_t seed_;
-  int original_num_nodes_;
-  net::FaultInjector injector_;
-  bool injecting_ = false;
-  std::unique_ptr<net::Topology> owned_topology_;
-  std::vector<int> orig_of_;
-  std::vector<int> silent_;
-  int rebuilds_ = 0;
+  QueryEngine engine_;
+  int qid_;
 };
 
 }  // namespace core

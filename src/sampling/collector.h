@@ -60,6 +60,21 @@ class SampleCollector {
   SweepReport CollectSampleReport(
       const std::vector<double>& truth, net::NetworkSimulator* sim,
       SampleSet* samples, const std::vector<double>* fallback = nullptr) const {
+    std::vector<double> collected;
+    const SweepReport report = CollectSweep(truth, sim, fallback, &collected);
+    samples->Add(std::move(collected));
+    return report;
+  }
+
+  /// The radio half of CollectSampleReport: charges the sweep and writes
+  /// the (possibly imputed) network reading into `collected` without
+  /// touching any sample window. The multi-query engine uses this to pay
+  /// for one sweep and then append the same vector to every registered
+  /// query's window — the core radio-sharing move.
+  SweepReport CollectSweep(const std::vector<double>& truth,
+                           net::NetworkSimulator* sim,
+                           const std::vector<double>* fallback,
+                           std::vector<double>* collected) const {
     const net::Topology& topo = sim->topology();
     const int n = topo.num_nodes();
     SweepReport report;
@@ -102,18 +117,18 @@ class SampleCollector {
       arrived[u] =
           report.edge_delivered[u] && arrived[topo.parent(u)] ? 1 : 0;
     }
-    std::vector<double> collected = truth;
+    *collected = truth;
     double min_arrived = truth[topo.root()];  // the root always has itself
     for (int u = 0; u < n; ++u) {
       if (arrived[u]) min_arrived = std::min(min_arrived, truth[u]);
     }
     for (int u = 0; u < n; ++u) {
       if (arrived[u]) continue;
-      collected[u] = (fallback != nullptr && static_cast<int>(fallback->size()) == n)
-                         ? (*fallback)[u]
-                         : min_arrived;
+      (*collected)[u] =
+          (fallback != nullptr && static_cast<int>(fallback->size()) == n)
+              ? (*fallback)[u]
+              : min_arrived;
     }
-    samples->Add(collected);
     return report;
   }
 

@@ -65,6 +65,78 @@ TEST(PlanWireTest, DecodeRejectsMalformedInput) {
   EXPECT_FALSE(DecodeSubplan({0, 1, 2, 0, 7}).ok());         // trailing bytes
 }
 
+TEST(PlanWireTest, PlainSubplansStillEncodeAsVersion0) {
+  // Backward compatibility: without per-query entries the encoder emits
+  // the legacy untagged layout, byte-for-byte, so pre-versioning nodes
+  // (and the pinned install-cost model) are unaffected.
+  Subplan sp;
+  sp.k = 12;
+  sp.outgoing_bandwidth = 5;
+  sp.child_bandwidth = {{3, 1}, {90, 2}};
+  auto bytes = EncodeSubplan(sp);
+  EXPECT_EQ(SubplanWireVersion(bytes), 0);
+  EXPECT_NE(bytes[0] & kSubplanVersionTag, kSubplanVersionTag);
+}
+
+TEST(PlanWireTest, LegacyVersion0BlobDecodes) {
+  // A hand-built v0 blob, as an old node would have serialized it:
+  // flags(proof_carrying) + k + bw + count + one (id, bw) child.
+  const std::vector<uint8_t> legacy = {0x01, 7, 3, 1, 5, 2};
+  EXPECT_EQ(SubplanWireVersion(legacy), 0);
+  auto decoded = DecodeSubplan(legacy);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->proof_carrying);
+  EXPECT_EQ(decoded->k, 7);
+  EXPECT_EQ(decoded->outgoing_bandwidth, 3);
+  ASSERT_EQ(decoded->child_bandwidth.size(), 1u);
+  EXPECT_EQ(decoded->child_bandwidth[0], (std::pair<int, uint8_t>{5, 2}));
+  EXPECT_TRUE(decoded->query_entries.empty());
+}
+
+TEST(PlanWireTest, VersionedRoundTripWithQueryEntries) {
+  Subplan sp;
+  sp.proof_carrying = true;
+  sp.k = 17;
+  sp.outgoing_bandwidth = 9;
+  sp.child_bandwidth = {{5, 3}, {200, 1}};
+  sp.query_entries = {{0, 5, 2}, {3, 10, 9}, {300, 1, 1}};
+  auto bytes = EncodeSubplan(sp);
+  EXPECT_EQ(SubplanWireVersion(bytes), 1);
+  EXPECT_EQ(bytes[0], kSubplanVersionTag | 1);
+  auto decoded = DecodeSubplan(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->proof_carrying, sp.proof_carrying);
+  EXPECT_EQ(decoded->k, sp.k);
+  EXPECT_EQ(decoded->outgoing_bandwidth, sp.outgoing_bandwidth);
+  EXPECT_EQ(decoded->child_bandwidth, sp.child_bandwidth);
+  EXPECT_EQ(decoded->query_entries, sp.query_entries);
+}
+
+TEST(PlanWireTest, DecodeRejectsBadVersionedInput) {
+  Subplan sp;
+  sp.k = 4;
+  sp.query_entries = {{1, 4, 2}};
+  auto bytes = EncodeSubplan(sp);
+  ASSERT_EQ(SubplanWireVersion(bytes), 1);
+  // A future version we do not speak yet.
+  auto future = bytes;
+  future[0] = kSubplanVersionTag | 2;
+  EXPECT_FALSE(DecodeSubplan(future).ok());
+  // Truncations anywhere inside the query-entry section.
+  for (size_t cut = 5; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> trunc(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(DecodeSubplan(trunc).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(PlanWireTest, VersionSniffing) {
+  EXPECT_EQ(SubplanWireVersion({}), -1);
+  EXPECT_EQ(SubplanWireVersion({0x00, 1, 2, 0}), 0);
+  EXPECT_EQ(SubplanWireVersion({0x07, 1, 2, 0}), 0);  // all v0 flag bits
+  EXPECT_EQ(SubplanWireVersion({0xC1}), 1);
+  EXPECT_EQ(SubplanWireVersion({0xC5}), 5);
+}
+
 class PlanWirePropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(PlanWirePropertyTest, EveryNodeRoundTrips) {
