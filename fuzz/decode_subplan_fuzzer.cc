@@ -1,0 +1,31 @@
+// libFuzzer entry point for core::DecodeSubplan (optional; the in-tree
+// deterministic fuzzer in tests/plan_wire_fuzz_test.cc is the CI gate).
+//
+// Build with Clang:
+//   cmake -B build-fuzz -S . -DPROSPECTOR_FUZZERS=ON \
+//     -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build-fuzz --target decode_subplan_fuzzer
+//   ./build-fuzz/fuzz/decode_subplan_fuzzer spec/test-vectors/  # seeds
+//
+// The oracle is the same one the deterministic fuzzer uses: decoding must
+// never crash, and any accepted input must re-encode byte-identically
+// (the canonical-form bijection). Coverage-guided exploration rides on
+// top of the checked-in corpus as the seed set.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/testvec/fuzz.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::vector<uint8_t> input(data, data + size);
+  const prospector::Status st =
+      prospector::testvec::CheckDecodeOneInput(input);
+  if (!st.ok()) {
+    std::fprintf(stderr, "oracle violation: %s\n", st.ToString().c_str());
+    std::abort();  // let libFuzzer minimize and persist the input
+  }
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "src/core/plan.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "src/core/plan_wire.h"
@@ -112,6 +114,17 @@ double ExpectedTriggerCost(const QueryPlan& plan,
 
 double ChargeInstallCost(const QueryPlan& plan, net::NetworkSimulator* sim) {
   const net::Topology& topo = sim->topology();
+  // Installing is the moment plan bytes leave the optimizer for the
+  // sensors: verify the bytes decode back to exactly the plan the LP
+  // certified. A divergence here means the executor would run a different
+  // plan than the one whose recall/energy trade-off was proven (the bug
+  // class the old Cap255 clamps hid), so fail fast like the energy audit.
+  if (const Status fidelity = VerifyPlanWireFidelity(plan, topo);
+      !fidelity.ok()) {
+    std::fprintf(stderr, "ChargeInstallCost: wire fidelity violation: %s\n",
+                 fidelity.ToString().c_str());
+    std::abort();
+  }
   double spent = 0.0;
   // Each participating node receives its serialized subplan (its own edge
   // bandwidth plus the expected count per child) from its parent; the

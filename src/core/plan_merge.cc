@@ -11,10 +11,6 @@ namespace prospector {
 namespace core {
 namespace {
 
-uint8_t Cap255(int v) {
-  return static_cast<uint8_t>(std::clamp(v, 0, 255));
-}
-
 bool PlanAcquiresAt(const QueryPlan& plan, int node) {
   if (plan.kind == PlanKind::kBandwidth) return plan.bandwidth[node] > 0;
   return node < static_cast<int>(plan.chosen.size()) && plan.chosen[node];
@@ -301,9 +297,8 @@ Subplan MergedSubplanFor(const Superplan& superplan,
     if (node != topology.root() && p.bandwidth[node] <= 0) continue;
     SubplanQueryEntry entry;
     entry.query_id = superplan.query_ids[q];
-    entry.k = Cap255(p.k);
-    entry.bandwidth =
-        node == topology.root() ? 0 : Cap255(p.bandwidth[node]);
+    entry.k = p.k;
+    entry.bandwidth = node == topology.root() ? 0 : p.bandwidth[node];
     sp.query_entries.push_back(entry);
   }
   return sp;

@@ -1,13 +1,23 @@
 #include "src/core/plan_wire.h"
 
-#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 namespace prospector {
 namespace core {
 namespace {
 
-uint8_t Cap255(int v) {
-  return static_cast<uint8_t>(std::clamp(v, 0, 255));
+constexpr uint8_t kFlagMask = 0x07;  // bits 0-2; the rest are reserved
+
+bool FitsByte(int v) { return v >= 0 && v <= 255; }
+
+Status CheckField(const char* what, int v) {
+  if (v < 0 || v > kSubplanMaxFieldValue) {
+    return Status::InvalidArgument(std::string("subplan ") + what +
+                                   " out of range: " + std::to_string(v));
+  }
+  return Status::OK();
 }
 
 void PutVarint(std::vector<uint8_t>* out, uint32_t v) {
@@ -18,11 +28,18 @@ void PutVarint(std::vector<uint8_t>* out, uint32_t v) {
   out->push_back(static_cast<uint8_t>(v));
 }
 
+/// Canonical LEB128 reader: accepts exactly the encodings PutVarint
+/// produces. Rejects truncation, overlong forms (a non-final zero
+/// continuation, e.g. 0x85 0x00 for 5), and 5-byte encodings whose high
+/// bits fall outside uint32 — every varint has one and only one spelling,
+/// so golden byte vectors pin values exactly.
 bool GetVarint(const std::vector<uint8_t>& in, size_t* pos, uint32_t* out) {
   uint32_t v = 0;
   int shift = 0;
   while (*pos < in.size() && shift <= 28) {
     const uint8_t b = in[(*pos)++];
+    if (shift == 28 && (b & 0xf0)) return false;  // beyond 32 bits
+    if (shift > 0 && b == 0x00) return false;     // overlong encoding
     v |= static_cast<uint32_t>(b & 0x7f) << shift;
     if (!(b & 0x80)) {
       *out = v;
@@ -31,6 +48,65 @@ bool GetVarint(const std::vector<uint8_t>& in, size_t* pos, uint32_t* out) {
     shift += 7;
   }
   return false;
+}
+
+/// Reads a varint-coded field into a non-negative int.
+Status GetVarintField(const std::vector<uint8_t>& in, size_t* pos,
+                      const char* what, int* out) {
+  uint32_t v = 0;
+  if (!GetVarint(in, pos, &v)) {
+    return Status::InvalidArgument(std::string("bad varint in subplan ") +
+                                   what);
+  }
+  if (v > static_cast<uint32_t>(kSubplanMaxFieldValue)) {
+    return Status::InvalidArgument(std::string("subplan ") + what +
+                                   " out of range: " + std::to_string(v));
+  }
+  *out = static_cast<int>(v);
+  return Status::OK();
+}
+
+/// True when the subplan is representable under the byte-sized v0/v1
+/// layouts (every value and count fits in a uint8). The encoder uses this
+/// to pick the minimal version; the decoder uses it to reject a v2 blob
+/// that should have been v0/v1.
+bool FitsByteLayout(const Subplan& sp) {
+  if (!FitsByte(sp.k) || !FitsByte(sp.outgoing_bandwidth)) return false;
+  if (sp.child_bandwidth.size() > 255 || sp.query_entries.size() > 255) {
+    return false;
+  }
+  for (const auto& [child, bw] : sp.child_bandwidth) {
+    (void)child;  // ids are varints in every version
+    if (!FitsByte(bw)) return false;
+  }
+  for (const SubplanQueryEntry& e : sp.query_entries) {
+    if (!FitsByte(e.k) || !FitsByte(e.bandwidth)) return false;
+  }
+  return true;
+}
+
+Status ValidateForEncode(const Subplan& sp) {
+  PROSPECTOR_RETURN_IF_ERROR(CheckField("k", sp.k));
+  PROSPECTOR_RETURN_IF_ERROR(
+      CheckField("outgoing bandwidth", sp.outgoing_bandwidth));
+  for (const auto& [child, bw] : sp.child_bandwidth) {
+    PROSPECTOR_RETURN_IF_ERROR(CheckField("child id", child));
+    PROSPECTOR_RETURN_IF_ERROR(CheckField("child bandwidth", bw));
+  }
+  for (const SubplanQueryEntry& e : sp.query_entries) {
+    PROSPECTOR_RETURN_IF_ERROR(CheckField("query id", e.query_id));
+    PROSPECTOR_RETURN_IF_ERROR(CheckField("query k", e.k));
+    PROSPECTOR_RETURN_IF_ERROR(CheckField("query bandwidth", e.bandwidth));
+  }
+  return Status::OK();
+}
+
+uint8_t FlagsOf(const Subplan& sp) {
+  uint8_t flags = 0;
+  if (sp.proof_carrying) flags |= 1;
+  if (sp.node_selection) flags |= 2;
+  if (sp.chosen) flags |= 4;
+  return flags;
 }
 
 }  // namespace
@@ -43,44 +119,61 @@ Subplan SubplanFor(const QueryPlan& plan, const net::Topology& topology,
   sp.chosen = sp.node_selection && node < static_cast<int>(plan.chosen.size())
                   ? plan.chosen[node] != 0
                   : false;
-  sp.k = Cap255(plan.k);
-  sp.outgoing_bandwidth =
-      node == topology.root() ? 0 : Cap255(plan.bandwidth[node]);
+  sp.k = plan.k;
+  sp.outgoing_bandwidth = node == topology.root() ? 0 : plan.bandwidth[node];
   for (int c : topology.children(node)) {
     if (plan.UsesEdge(c)) {
-      sp.child_bandwidth.emplace_back(c, Cap255(plan.bandwidth[c]));
+      sp.child_bandwidth.emplace_back(c, plan.bandwidth[c]);
     }
   }
   return sp;
 }
 
-std::vector<uint8_t> EncodeSubplan(const Subplan& sp) {
+Result<std::vector<uint8_t>> EncodeSubplan(const Subplan& sp) {
+  PROSPECTOR_RETURN_IF_ERROR(ValidateForEncode(sp));
   std::vector<uint8_t> out;
-  // Version-conservative: only superplan subplans (per-query entries
-  // present) need the versioned form; everything else stays byte-exact
-  // with the historical version-0 encoding.
-  if (!sp.query_entries.empty()) {
-    out.push_back(static_cast<uint8_t>(kSubplanVersionTag | 1));
+  if (FitsByteLayout(sp)) {
+    // Minimal version: the historical byte-sized layouts. Subplans without
+    // per-query entries stay byte-exact with the untagged version-0
+    // encoding (and the pinned install-cost model); superplan subplans
+    // take the version-1 tag.
+    if (!sp.query_entries.empty()) {
+      out.push_back(static_cast<uint8_t>(kSubplanVersionTag | 1));
+    }
+    out.push_back(FlagsOf(sp));
+    out.push_back(static_cast<uint8_t>(sp.k));
+    out.push_back(static_cast<uint8_t>(sp.outgoing_bandwidth));
+    out.push_back(static_cast<uint8_t>(sp.child_bandwidth.size()));
+    for (const auto& [child, bw] : sp.child_bandwidth) {
+      PutVarint(&out, static_cast<uint32_t>(child));
+      out.push_back(static_cast<uint8_t>(bw));
+    }
+    if (!sp.query_entries.empty()) {
+      out.push_back(static_cast<uint8_t>(sp.query_entries.size()));
+      for (const SubplanQueryEntry& e : sp.query_entries) {
+        PutVarint(&out, static_cast<uint32_t>(e.query_id));
+        out.push_back(static_cast<uint8_t>(e.k));
+        out.push_back(static_cast<uint8_t>(e.bandwidth));
+      }
+    }
+    return out;
   }
-  uint8_t flags = 0;
-  if (sp.proof_carrying) flags |= 1;
-  if (sp.node_selection) flags |= 2;
-  if (sp.chosen) flags |= 4;
-  out.push_back(flags);
-  out.push_back(sp.k);
-  out.push_back(sp.outgoing_bandwidth);
-  out.push_back(Cap255(static_cast<int>(sp.child_bandwidth.size())));
+  // Version 2: some count or value exceeds a byte; everything widens to a
+  // varint instead of being clamped.
+  out.push_back(static_cast<uint8_t>(kSubplanVersionTag | 2));
+  out.push_back(FlagsOf(sp));
+  PutVarint(&out, static_cast<uint32_t>(sp.k));
+  PutVarint(&out, static_cast<uint32_t>(sp.outgoing_bandwidth));
+  PutVarint(&out, static_cast<uint32_t>(sp.child_bandwidth.size()));
   for (const auto& [child, bw] : sp.child_bandwidth) {
     PutVarint(&out, static_cast<uint32_t>(child));
-    out.push_back(bw);
+    PutVarint(&out, static_cast<uint32_t>(bw));
   }
-  if (!sp.query_entries.empty()) {
-    out.push_back(Cap255(static_cast<int>(sp.query_entries.size())));
-    for (const SubplanQueryEntry& e : sp.query_entries) {
-      PutVarint(&out, static_cast<uint32_t>(e.query_id));
-      out.push_back(e.k);
-      out.push_back(e.bandwidth);
-    }
+  PutVarint(&out, static_cast<uint32_t>(sp.query_entries.size()));
+  for (const SubplanQueryEntry& e : sp.query_entries) {
+    PutVarint(&out, static_cast<uint32_t>(e.query_id));
+    PutVarint(&out, static_cast<uint32_t>(e.k));
+    PutVarint(&out, static_cast<uint32_t>(e.bandwidth));
   }
   return out;
 }
@@ -102,45 +195,97 @@ Result<Subplan> DecodeSubplan(const std::vector<uint8_t>& bytes) {
     return Status::InvalidArgument("unsupported subplan wire version");
   }
   size_t pos = version > 0 ? 1 : 0;
-  if (bytes.size() < pos + 4) {
-    return Status::InvalidArgument("subplan too short");
-  }
   Subplan sp;
-  sp.proof_carrying = bytes[pos] & 1;
-  sp.node_selection = bytes[pos] & 2;
-  sp.chosen = bytes[pos] & 4;
-  sp.k = bytes[pos + 1];
-  sp.outgoing_bandwidth = bytes[pos + 2];
-  const int m = bytes[pos + 3];
-  pos += 4;
-  for (int i = 0; i < m; ++i) {
-    uint32_t child = 0;
-    if (!GetVarint(bytes, &pos, &child)) {
-      return Status::InvalidArgument("truncated subplan child list");
+  if (version <= 1) {
+    if (bytes.size() < pos + 4) {
+      return Status::InvalidArgument("subplan too short");
     }
-    if (pos >= bytes.size()) {
-      return Status::InvalidArgument("truncated subplan bandwidth");
+    if (bytes[pos] & ~kFlagMask) {
+      return Status::InvalidArgument("unknown subplan flag bits");
     }
-    sp.child_bandwidth.emplace_back(static_cast<int>(child), bytes[pos++]);
-  }
-  if (version >= 1) {
-    if (pos >= bytes.size()) {
-      return Status::InvalidArgument("truncated subplan query count");
+    sp.proof_carrying = bytes[pos] & 1;
+    sp.node_selection = bytes[pos] & 2;
+    sp.chosen = bytes[pos] & 4;
+    sp.k = bytes[pos + 1];
+    sp.outgoing_bandwidth = bytes[pos + 2];
+    const int m = bytes[pos + 3];
+    pos += 4;
+    for (int i = 0; i < m; ++i) {
+      int child = 0;
+      PROSPECTOR_RETURN_IF_ERROR(
+          GetVarintField(bytes, &pos, "child id", &child));
+      if (pos >= bytes.size()) {
+        return Status::InvalidArgument("truncated subplan bandwidth");
+      }
+      sp.child_bandwidth.emplace_back(child, bytes[pos++]);
     }
-    const int nq = bytes[pos++];
+    if (version == 1) {
+      if (pos >= bytes.size()) {
+        return Status::InvalidArgument("truncated subplan query count");
+      }
+      const int nq = bytes[pos++];
+      if (nq == 0) {
+        // The encoder only tags version 1 when entries exist; an
+        // entry-less tagged blob is version 0 spelled non-minimally.
+        return Status::InvalidArgument(
+            "non-canonical subplan: version 1 without query entries");
+      }
+      for (int i = 0; i < nq; ++i) {
+        int qid = 0;
+        PROSPECTOR_RETURN_IF_ERROR(
+            GetVarintField(bytes, &pos, "query id", &qid));
+        if (pos + 2 > bytes.size()) {
+          return Status::InvalidArgument("truncated subplan query entry");
+        }
+        SubplanQueryEntry e;
+        e.query_id = qid;
+        e.k = bytes[pos++];
+        e.bandwidth = bytes[pos++];
+        sp.query_entries.push_back(e);
+      }
+    }
+  } else {
+    if (bytes.size() < pos + 1) {
+      return Status::InvalidArgument("subplan too short");
+    }
+    if (bytes[pos] & ~kFlagMask) {
+      return Status::InvalidArgument("unknown subplan flag bits");
+    }
+    sp.proof_carrying = bytes[pos] & 1;
+    sp.node_selection = bytes[pos] & 2;
+    sp.chosen = bytes[pos] & 4;
+    ++pos;
+    PROSPECTOR_RETURN_IF_ERROR(GetVarintField(bytes, &pos, "k", &sp.k));
+    PROSPECTOR_RETURN_IF_ERROR(
+        GetVarintField(bytes, &pos, "outgoing bandwidth",
+                       &sp.outgoing_bandwidth));
+    int m = 0;
+    PROSPECTOR_RETURN_IF_ERROR(
+        GetVarintField(bytes, &pos, "child count", &m));
+    for (int i = 0; i < m; ++i) {
+      int child = 0, bw = 0;
+      PROSPECTOR_RETURN_IF_ERROR(
+          GetVarintField(bytes, &pos, "child id", &child));
+      PROSPECTOR_RETURN_IF_ERROR(
+          GetVarintField(bytes, &pos, "child bandwidth", &bw));
+      sp.child_bandwidth.emplace_back(child, bw);
+    }
+    int nq = 0;
+    PROSPECTOR_RETURN_IF_ERROR(
+        GetVarintField(bytes, &pos, "query count", &nq));
     for (int i = 0; i < nq; ++i) {
-      uint32_t qid = 0;
-      if (!GetVarint(bytes, &pos, &qid)) {
-        return Status::InvalidArgument("truncated subplan query id");
-      }
-      if (pos + 2 > bytes.size()) {
-        return Status::InvalidArgument("truncated subplan query entry");
-      }
       SubplanQueryEntry e;
-      e.query_id = static_cast<int>(qid);
-      e.k = bytes[pos++];
-      e.bandwidth = bytes[pos++];
+      PROSPECTOR_RETURN_IF_ERROR(
+          GetVarintField(bytes, &pos, "query id", &e.query_id));
+      PROSPECTOR_RETURN_IF_ERROR(GetVarintField(bytes, &pos, "query k", &e.k));
+      PROSPECTOR_RETURN_IF_ERROR(
+          GetVarintField(bytes, &pos, "query bandwidth", &e.bandwidth));
       sp.query_entries.push_back(e);
+    }
+    if (FitsByteLayout(sp)) {
+      // Everything fits in bytes, so the canonical spelling is v0/v1.
+      return Status::InvalidArgument(
+          "non-canonical subplan: version 2 fits byte layout");
     }
   }
   if (pos != bytes.size()) {
@@ -151,7 +296,60 @@ Result<Subplan> DecodeSubplan(const std::vector<uint8_t>& bytes) {
 
 int SubplanWireBytes(const QueryPlan& plan, const net::Topology& topology,
                      int node) {
-  return static_cast<int>(EncodeSubplan(SubplanFor(plan, topology, node)).size());
+  auto bytes = EncodeSubplan(SubplanFor(plan, topology, node));
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "SubplanWireBytes: unencodable plan at node %d: %s\n",
+                 node, bytes.status().ToString().c_str());
+    std::abort();
+  }
+  return static_cast<int>(bytes->size());
+}
+
+Status VerifyPlanWireFidelity(const QueryPlan& plan,
+                              const net::Topology& topology) {
+  for (int u : topology.PreOrder()) {
+    if (u != topology.root() && !plan.UsesEdge(u)) continue;
+    const Subplan sp = SubplanFor(plan, topology, u);
+    auto bytes = EncodeSubplan(sp);
+    if (!bytes.ok()) {
+      return Status::Internal("node " + std::to_string(u) +
+                              ": subplan does not encode: " +
+                              bytes.status().ToString());
+    }
+    auto decoded = DecodeSubplan(*bytes);
+    if (!decoded.ok()) {
+      return Status::Internal("node " + std::to_string(u) +
+                              ": shipped subplan does not decode: " +
+                              decoded.status().ToString());
+    }
+    if (!(*decoded == sp)) {
+      return Status::Internal("node " + std::to_string(u) +
+                              ": decoded subplan differs from planned");
+    }
+    if (decoded->k != plan.k) {
+      return Status::Internal(
+          "node " + std::to_string(u) + ": decoded k " +
+          std::to_string(decoded->k) + " != planned k " +
+          std::to_string(plan.k));
+    }
+    const int planned_out = u == topology.root() ? 0 : plan.bandwidth[u];
+    if (decoded->outgoing_bandwidth != planned_out) {
+      return Status::Internal(
+          "node " + std::to_string(u) + ": decoded outgoing bandwidth " +
+          std::to_string(decoded->outgoing_bandwidth) + " != planned " +
+          std::to_string(planned_out));
+    }
+    for (const auto& [child, bw] : decoded->child_bandwidth) {
+      if (child < 0 || child >= topology.num_nodes() ||
+          bw != plan.bandwidth[child]) {
+        return Status::Internal(
+            "node " + std::to_string(u) + ": decoded child " +
+            std::to_string(child) + " bandwidth " + std::to_string(bw) +
+            " differs from plan");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace core

@@ -2,6 +2,7 @@
 #define PROSPECTOR_CORE_PLAN_WIRE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/core/plan.h"
@@ -19,31 +20,52 @@ namespace core {
 ///
 /// Version-0 subplan layout (byte-exact, little-endian):
 ///   [0]    flags: bit0 proof-carrying, bit1 node-selection, bit2 chosen
-///   [1]    k (uint8, capped at 255)
-///   [2]    own outgoing bandwidth (uint8, capped)
+///   [1]    k (uint8)
+///   [2]    own outgoing bandwidth (uint8)
 ///   [3]    number of participating children m (uint8)
 ///   then m x { varint child id, uint8 child bandwidth }
 /// Varints are LEB128 (1 byte for ids < 128 — the common case).
 ///
-/// Versioned layout (format evolution; see DESIGN.md "Multi-query
-/// engine"): a leading tag byte 0xC0|version, then the version body.
-/// Version-0 flags only ever use bits 0-2, so a tag byte is unambiguous
-/// and version-0 blobs (no tag) stay readable forever. Version 1 extends
-/// the version-0 body with per-query demux entries for merged superplans:
+/// Versioned layout (format evolution; see DESIGN.md "Wire format"): a
+/// leading tag byte 0xC0|version, then the version body. Version-0 flags
+/// only ever use bits 0-2, so a tag byte is unambiguous and version-0
+/// blobs (no tag) stay readable forever.
+///
+/// Version 1 extends the version-0 body with per-query demux entries for
+/// merged superplans:
 ///   [tag 0xC1] <version-0 body> [nq] then nq x { varint query id,
 ///   uint8 query k, uint8 query outgoing bandwidth }
-/// Encoding is conservative: a subplan with no query entries serializes
-/// as version 0, so single-query deployments (and their charged install
-/// bytes) are bit-identical to the historical format.
+///
+/// Version 2 widens every count and value to a varint, for plans whose
+/// k, bandwidths, child count, or query count exceed 255 (the silent
+/// Cap255 truncation bugs of the uint8 encodings):
+///   [tag 0xC2] [flags] varint k, varint outgoing bandwidth,
+///   varint m, m x { varint child id, varint child bandwidth },
+///   varint nq, nq x { varint query id, varint k, varint bandwidth }
+///
+/// Encoding is *canonically minimal*: the encoder picks the lowest
+/// version that represents the subplan exactly (v0 for single-query
+/// subplans that fit in bytes, v1 when query entries are present, v2 only
+/// on overflow), and the decoder rejects non-minimal encodings as well as
+/// overlong varints. This makes the mapping between subplans and blobs a
+/// bijection — decode(encode(x)) == x and encode(decode(b)) == b — which
+/// is what lets the golden vectors in spec/test-vectors/ pin the format
+/// byte-for-byte. Single-query deployments (and their charged install
+/// bytes) remain bit-identical to the historical untagged format.
 constexpr uint8_t kSubplanVersionTag = 0xC0;  ///< tag byte = 0xC0 | version
-constexpr int kSubplanWireVersion = 1;        ///< newest writable version
+constexpr int kSubplanWireVersion = 2;        ///< newest writable version
+
+/// Largest value any wire field may carry: value fields are varint-coded
+/// uint32 on the wire but held in `int` in memory, so the format caps
+/// them at INT32_MAX rather than UINT32_MAX.
+constexpr int kSubplanMaxFieldValue = 0x7fffffff;
 
 /// Per-query demux entry of a merged superplan's subplan: how many values
 /// this node may forward for that query, and the query's k.
 struct SubplanQueryEntry {
   int query_id = 0;
-  uint8_t k = 0;
-  uint8_t bandwidth = 0;
+  int k = 0;
+  int bandwidth = 0;
 
   bool operator==(const SubplanQueryEntry& o) const {
     return query_id == o.query_id && k == o.k && bandwidth == o.bandwidth;
@@ -54,30 +76,56 @@ struct Subplan {
   bool proof_carrying = false;
   bool node_selection = false;
   bool chosen = false;  ///< node-selection plans: acquire own reading?
-  uint8_t k = 0;
-  uint8_t outgoing_bandwidth = 0;
-  std::vector<std::pair<int, uint8_t>> child_bandwidth;
+  int k = 0;
+  int outgoing_bandwidth = 0;
+  std::vector<std::pair<int, int>> child_bandwidth;
   /// Merged superplans only (version >= 1 on the wire): per-query limits.
   std::vector<SubplanQueryEntry> query_entries;
+
+  bool operator==(const Subplan& o) const {
+    return proof_carrying == o.proof_carrying &&
+           node_selection == o.node_selection && chosen == o.chosen &&
+           k == o.k && outgoing_bandwidth == o.outgoing_bandwidth &&
+           child_bandwidth == o.child_bandwidth &&
+           query_entries == o.query_entries;
+  }
 };
 
-/// Extracts the subplan node `node` must store.
+/// Extracts the subplan node `node` must store. Field values are carried
+/// exactly — a plan with k or bandwidths beyond 255 serializes under wire
+/// version 2 instead of being silently clamped.
 Subplan SubplanFor(const QueryPlan& plan, const net::Topology& topology,
                    int node);
 
-/// Serializes / parses the wire form. Encode writes version 0 when the
-/// subplan carries no query entries and version 1 otherwise; Decode reads
-/// both (backward-compatible with pre-versioning blobs).
-std::vector<uint8_t> EncodeSubplan(const Subplan& subplan);
+/// Serializes the wire form under the lowest version that represents the
+/// subplan exactly (see above). Fails with InvalidArgument — never
+/// truncates — when a field is negative or exceeds kSubplanMaxFieldValue.
+Result<std::vector<uint8_t>> EncodeSubplan(const Subplan& subplan);
+
+/// Parses any wire version. Strictly canonical: rejects overlong varints,
+/// non-minimal version choices, trailing bytes, and out-of-range fields,
+/// so every accepted blob is byte-identical to re-encoding its decode.
 Result<Subplan> DecodeSubplan(const std::vector<uint8_t>& bytes);
 
 /// Wire version of an encoded blob: 0 for legacy (untagged) subplans, the
 /// tagged version otherwise; -1 for an empty buffer.
 int SubplanWireVersion(const std::vector<uint8_t>& bytes);
 
-/// Exact wire size of node's subplan message body, in bytes.
+/// Exact wire size of node's subplan message body, in bytes. The plan
+/// must be encodable (non-negative bandwidths on used edges and k >= 0 —
+/// guaranteed for Normalize()d planner output); aborts otherwise, since
+/// install-cost accounting has no error channel.
 int SubplanWireBytes(const QueryPlan& plan, const net::Topology& topology,
                      int node);
+
+/// End-to-end wire fidelity check for a plan about to be installed: for
+/// every participating node, the subplan encodes, decodes, and the decode
+/// equals both the subplan and the plan's own k / bandwidth values. A
+/// failure means the executor would run a different plan than the one the
+/// optimizer certified (the class of bug the Cap255 clamps used to hide).
+/// Returns OK or the first violation.
+Status VerifyPlanWireFidelity(const QueryPlan& plan,
+                              const net::Topology& topology);
 
 }  // namespace core
 }  // namespace prospector

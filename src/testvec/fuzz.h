@@ -1,0 +1,69 @@
+#ifndef PROSPECTOR_TESTVEC_FUZZ_H_
+#define PROSPECTOR_TESTVEC_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace prospector {
+namespace testvec {
+
+/// Deterministic corpus-driven fuzzer for core::DecodeSubplan. Every
+/// stochastic choice draws from an explicitly-seeded Rng, so a CI failure
+/// reproduces locally from (seed, iteration) alone — and the failing
+/// input itself is returned for checking into spec/test-vectors/ as a
+/// permanent regression vector.
+///
+/// The oracle (`CheckDecodeOneInput`) enforces the decoder's contract on
+/// arbitrary bytes:
+///   - decode never crashes, hangs, or trips a sanitizer;
+///   - an accepted input re-encodes byte-identically (the canonical-form
+///     bijection golden vectors rely on);
+///   - every decoded field is within the wire format's declared range.
+/// Rejected inputs are fine — that is the decoder doing its job.
+Status CheckDecodeOneInput(const std::vector<uint8_t>& bytes);
+
+/// Round-trip oracle for the other direction: a subplan that encodes must
+/// decode back to itself. Used with generated-valid-subplan strategies.
+Status CheckEncodeRoundTrip(const std::vector<uint8_t>& encoded);
+
+struct FuzzOptions {
+  uint64_t seed = 0x5eed;
+  /// Randomized-mutation budget, on top of the deterministic sweep.
+  uint64_t iterations = 100000;
+  /// Longest random input the generator produces.
+  size_t max_input_bytes = 512;
+};
+
+struct FuzzReport {
+  /// Oracle invocations actually performed (deterministic sweep included).
+  uint64_t iterations = 0;
+  uint64_t accepted = 0;  ///< inputs the decoder accepted
+  uint64_t rejected = 0;  ///< inputs the decoder rejected (expected)
+  bool ok = true;
+  /// First failing input and what went wrong (empty when ok).
+  std::vector<uint8_t> failing_input;
+  std::string message;
+};
+
+/// Runs the fuzzer: first a deterministic exhaustive sweep over every
+/// corpus entry (truncation at every byte offset, every single-bit flip,
+/// version-byte skew across all 8 tag values, hostile count bytes,
+/// appended trailing bytes), then `options.iterations` seeded random
+/// mutations (random buffers, splices of corpus entries, insertions/
+/// deletions, and valid-subplan round trips). Stops at the first failure.
+FuzzReport FuzzDecodeSubplan(const std::vector<std::vector<uint8_t>>& corpus,
+                             const FuzzOptions& options);
+
+/// Extracts every wire blob from the plan_wire/superplan vector files in
+/// `spec_dir` (roundtrip wire_hex, decode_error wire_hex, and merge-case
+/// node subplans) to seed the fuzzer with real protocol shapes.
+Result<std::vector<std::vector<uint8_t>>> LoadWireCorpus(
+    const std::string& spec_dir);
+
+}  // namespace testvec
+}  // namespace prospector
+
+#endif  // PROSPECTOR_TESTVEC_FUZZ_H_

@@ -8,6 +8,12 @@ namespace prospector {
 namespace core {
 namespace {
 
+std::vector<uint8_t> MustEncode(const Subplan& sp) {
+  auto bytes = EncodeSubplan(sp);
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return bytes.ok() ? *bytes : std::vector<uint8_t>{};
+}
+
 TEST(PlanWireTest, SubplanForInteriorNode) {
   // Root 0 with child 1; node 1 has children 2 (used) and 3 (unused).
   auto topo = net::Topology::FromParents({-1, 0, 1, 1}).value();
@@ -18,7 +24,7 @@ TEST(PlanWireTest, SubplanForInteriorNode) {
   EXPECT_EQ(sp.k, 4);
   EXPECT_EQ(sp.outgoing_bandwidth, 3);
   ASSERT_EQ(sp.child_bandwidth.size(), 1u);
-  EXPECT_EQ(sp.child_bandwidth[0], (std::pair<int, uint8_t>{2, 2}));
+  EXPECT_EQ(sp.child_bandwidth[0], (std::pair<int, int>{2, 2}));
 }
 
 TEST(PlanWireTest, NodeSelectionFlagsChosen) {
@@ -36,25 +42,20 @@ TEST(PlanWireTest, EncodeDecodeRoundTrip) {
   sp.k = 17;
   sp.outgoing_bandwidth = 9;
   sp.child_bandwidth = {{5, 3}, {200, 1}, {70000, 255}};
-  auto bytes = EncodeSubplan(sp);
+  auto bytes = MustEncode(sp);
   auto decoded = DecodeSubplan(bytes);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
-  EXPECT_EQ(decoded->proof_carrying, sp.proof_carrying);
-  EXPECT_EQ(decoded->node_selection, sp.node_selection);
-  EXPECT_EQ(decoded->chosen, sp.chosen);
-  EXPECT_EQ(decoded->k, sp.k);
-  EXPECT_EQ(decoded->outgoing_bandwidth, sp.outgoing_bandwidth);
-  EXPECT_EQ(decoded->child_bandwidth, sp.child_bandwidth);
+  EXPECT_EQ(*decoded, sp);
 }
 
 TEST(PlanWireTest, WireSizeIsCompactForSmallIds) {
   // flags + k + bw + count + (1-byte id + bw) per child.
   Subplan sp;
   sp.child_bandwidth = {{3, 1}, {90, 2}};
-  EXPECT_EQ(EncodeSubplan(sp).size(), 4u + 2u * 2u);
+  EXPECT_EQ(MustEncode(sp).size(), 4u + 2u * 2u);
   // Large ids take 2 varint bytes.
   sp.child_bandwidth = {{300, 1}};
-  EXPECT_EQ(EncodeSubplan(sp).size(), 4u + 3u);
+  EXPECT_EQ(MustEncode(sp).size(), 4u + 3u);
 }
 
 TEST(PlanWireTest, DecodeRejectsMalformedInput) {
@@ -63,6 +64,21 @@ TEST(PlanWireTest, DecodeRejectsMalformedInput) {
   EXPECT_FALSE(DecodeSubplan({0, 1, 2, 1}).ok());            // missing child
   EXPECT_FALSE(DecodeSubplan({0, 1, 2, 1, 0x85}).ok());      // truncated varint
   EXPECT_FALSE(DecodeSubplan({0, 1, 2, 0, 7}).ok());         // trailing bytes
+  EXPECT_FALSE(DecodeSubplan({0x08, 1, 2, 0}).ok());         // reserved flag
+}
+
+TEST(PlanWireTest, DecodeRejectsOverlongVarints) {
+  // Child id 5 spelled in two bytes (0x85 0x00) instead of one: decodes to
+  // the same value as {5}, so accepting it would break the one-blob-per-
+  // subplan bijection the golden vectors rely on.
+  const std::vector<uint8_t> overlong = {0, 1, 2, 1, 0x85, 0x00, 3};
+  EXPECT_FALSE(DecodeSubplan(overlong).ok());
+  const std::vector<uint8_t> canonical = {0, 1, 2, 1, 5, 3};
+  ASSERT_TRUE(DecodeSubplan(canonical).ok());
+  // A 5-byte varint whose top byte spills past 32 bits.
+  const std::vector<uint8_t> spill = {0, 1, 2, 1,
+                                      0xFF, 0xFF, 0xFF, 0xFF, 0x10, 3};
+  EXPECT_FALSE(DecodeSubplan(spill).ok());
 }
 
 TEST(PlanWireTest, PlainSubplansStillEncodeAsVersion0) {
@@ -73,7 +89,7 @@ TEST(PlanWireTest, PlainSubplansStillEncodeAsVersion0) {
   sp.k = 12;
   sp.outgoing_bandwidth = 5;
   sp.child_bandwidth = {{3, 1}, {90, 2}};
-  auto bytes = EncodeSubplan(sp);
+  auto bytes = MustEncode(sp);
   EXPECT_EQ(SubplanWireVersion(bytes), 0);
   EXPECT_NE(bytes[0] & kSubplanVersionTag, kSubplanVersionTag);
 }
@@ -89,7 +105,7 @@ TEST(PlanWireTest, LegacyVersion0BlobDecodes) {
   EXPECT_EQ(decoded->k, 7);
   EXPECT_EQ(decoded->outgoing_bandwidth, 3);
   ASSERT_EQ(decoded->child_bandwidth.size(), 1u);
-  EXPECT_EQ(decoded->child_bandwidth[0], (std::pair<int, uint8_t>{5, 2}));
+  EXPECT_EQ(decoded->child_bandwidth[0], (std::pair<int, int>{5, 2}));
   EXPECT_TRUE(decoded->query_entries.empty());
 }
 
@@ -100,30 +116,108 @@ TEST(PlanWireTest, VersionedRoundTripWithQueryEntries) {
   sp.outgoing_bandwidth = 9;
   sp.child_bandwidth = {{5, 3}, {200, 1}};
   sp.query_entries = {{0, 5, 2}, {3, 10, 9}, {300, 1, 1}};
-  auto bytes = EncodeSubplan(sp);
+  auto bytes = MustEncode(sp);
   EXPECT_EQ(SubplanWireVersion(bytes), 1);
   EXPECT_EQ(bytes[0], kSubplanVersionTag | 1);
   auto decoded = DecodeSubplan(bytes);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
-  EXPECT_EQ(decoded->proof_carrying, sp.proof_carrying);
-  EXPECT_EQ(decoded->k, sp.k);
-  EXPECT_EQ(decoded->outgoing_bandwidth, sp.outgoing_bandwidth);
-  EXPECT_EQ(decoded->child_bandwidth, sp.child_bandwidth);
-  EXPECT_EQ(decoded->query_entries, sp.query_entries);
+  EXPECT_EQ(*decoded, sp);
+}
+
+TEST(PlanWireTest, ManyChildrenEncodeAsVersion2AndRoundTrip) {
+  // The old encoder Cap255'd the count byte but still emitted all entries,
+  // producing a blob its own decoder rejected as trailing bytes. >255
+  // children must now take the varint-counted v2 layout and round-trip.
+  Subplan sp;
+  sp.k = 10;
+  sp.outgoing_bandwidth = 10;
+  for (int c = 1; c <= 300; ++c) sp.child_bandwidth.emplace_back(c, 1);
+  auto bytes = MustEncode(sp);
+  EXPECT_EQ(SubplanWireVersion(bytes), 2);
+  auto decoded = DecodeSubplan(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, sp);
+  EXPECT_EQ(decoded->child_bandwidth.size(), 300u);
+}
+
+TEST(PlanWireTest, LargeKAndBandwidthArePreservedNotClamped) {
+  // The old SubplanFor silently rewrote k > 255 / bandwidth > 255 to 255,
+  // shipping a smaller plan than the LP certified.
+  auto topo = net::Topology::FromParents({-1, 0, 1}).value();
+  QueryPlan p = QueryPlan::Bandwidth(1000, {0, 400, 1});
+  Subplan sp = SubplanFor(p, topo, 1);
+  EXPECT_EQ(sp.k, 1000);
+  EXPECT_EQ(sp.outgoing_bandwidth, 400);
+  auto bytes = MustEncode(sp);
+  EXPECT_EQ(SubplanWireVersion(bytes), 2);
+  auto decoded = DecodeSubplan(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->k, 1000);
+  EXPECT_EQ(decoded->outgoing_bandwidth, 400);
+}
+
+TEST(PlanWireTest, LargeQueryEntriesTakeVersion2) {
+  Subplan sp;
+  sp.k = 300;
+  sp.query_entries = {{7, 300, 280}};
+  auto bytes = MustEncode(sp);
+  EXPECT_EQ(SubplanWireVersion(bytes), 2);
+  auto decoded = DecodeSubplan(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, sp);
+}
+
+TEST(PlanWireTest, EncodeRejectsNegativeFields) {
+  Subplan sp;
+  sp.k = -1;
+  EXPECT_FALSE(EncodeSubplan(sp).ok());
+  sp.k = 3;
+  sp.child_bandwidth = {{-2, 1}};
+  EXPECT_FALSE(EncodeSubplan(sp).ok());
+  sp.child_bandwidth = {{2, -1}};
+  EXPECT_FALSE(EncodeSubplan(sp).ok());
+  sp.child_bandwidth.clear();
+  sp.query_entries = {{1, -4, 0}};
+  EXPECT_FALSE(EncodeSubplan(sp).ok());
+}
+
+TEST(PlanWireTest, DecodeRejectsNonMinimalVersions) {
+  // v1 tag with a v0-shaped body (zero query entries): the canonical
+  // spelling is version 0.
+  const std::vector<uint8_t> v1_empty = {0xC1, 0x01, 7, 3, 0, 0};
+  EXPECT_FALSE(DecodeSubplan(v1_empty).ok());
+  // v2 blob whose every field fits a byte: the canonical spelling is v0.
+  const std::vector<uint8_t> v2_small = {0xC2, 0x01, 7, 3, 0, 0};
+  EXPECT_FALSE(DecodeSubplan(v2_small).ok());
 }
 
 TEST(PlanWireTest, DecodeRejectsBadVersionedInput) {
   Subplan sp;
   sp.k = 4;
   sp.query_entries = {{1, 4, 2}};
-  auto bytes = EncodeSubplan(sp);
+  auto bytes = MustEncode(sp);
   ASSERT_EQ(SubplanWireVersion(bytes), 1);
   // A future version we do not speak yet.
   auto future = bytes;
-  future[0] = kSubplanVersionTag | 2;
+  future[0] = kSubplanVersionTag | 3;
   EXPECT_FALSE(DecodeSubplan(future).ok());
   // Truncations anywhere inside the query-entry section.
   for (size_t cut = 5; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> trunc(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(DecodeSubplan(trunc).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(PlanWireTest, Version2TruncationsAllRejected) {
+  Subplan sp;
+  sp.k = 1000;
+  sp.outgoing_bandwidth = 300;
+  sp.child_bandwidth = {{5, 256}, {600, 2}};
+  sp.query_entries = {{12, 1000, 700}};
+  auto bytes = MustEncode(sp);
+  ASSERT_EQ(SubplanWireVersion(bytes), 2);
+  ASSERT_EQ(*DecodeSubplan(bytes), sp);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
     std::vector<uint8_t> trunc(bytes.begin(), bytes.begin() + cut);
     EXPECT_FALSE(DecodeSubplan(trunc).ok()) << "cut at " << cut;
   }
@@ -135,6 +229,18 @@ TEST(PlanWireTest, VersionSniffing) {
   EXPECT_EQ(SubplanWireVersion({0x07, 1, 2, 0}), 0);  // all v0 flag bits
   EXPECT_EQ(SubplanWireVersion({0xC1}), 1);
   EXPECT_EQ(SubplanWireVersion({0xC5}), 5);
+}
+
+TEST(PlanWireTest, FidelityHoldsForNormalizedPlans) {
+  auto topo = net::Topology::FromParents({-1, 0, 1, 1, 0}).value();
+  QueryPlan p = QueryPlan::Bandwidth(3, {0, 2, 1, 1, 1});
+  p.Normalize(topo);
+  EXPECT_TRUE(VerifyPlanWireFidelity(p, topo).ok());
+  // Plans beyond the old uint8 ceiling are now faithful too.
+  QueryPlan big = QueryPlan::Bandwidth(500, {0, 300, 1, 1, 400});
+  // Skip Normalize's subtree clamp by checking fidelity directly: values
+  // survive the wire whatever their magnitude.
+  EXPECT_TRUE(VerifyPlanWireFidelity(big, topo).ok());
 }
 
 class PlanWirePropertyTest : public ::testing::TestWithParam<int> {};
@@ -151,13 +257,13 @@ TEST_P(PlanWirePropertyTest, EveryNodeRoundTrips) {
   p.Normalize(topo);
   for (int u = 0; u < n; ++u) {
     const Subplan sp = SubplanFor(p, topo, u);
-    auto decoded = DecodeSubplan(EncodeSubplan(sp));
+    auto decoded = DecodeSubplan(MustEncode(sp));
     ASSERT_TRUE(decoded.ok());
-    EXPECT_EQ(decoded->outgoing_bandwidth, sp.outgoing_bandwidth);
-    EXPECT_EQ(decoded->child_bandwidth, sp.child_bandwidth);
+    EXPECT_EQ(*decoded, sp);
     EXPECT_EQ(SubplanWireBytes(p, topo, u),
-              static_cast<int>(EncodeSubplan(sp).size()));
+              static_cast<int>(MustEncode(sp).size()));
   }
+  EXPECT_TRUE(VerifyPlanWireFidelity(p, topo).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanWirePropertyTest, ::testing::Range(1, 20));

@@ -1,0 +1,121 @@
+// Deterministic fuzzing of core::DecodeSubplan, seeded from the golden
+// corpus. The full run (exhaustive sweep + >=100k random mutations) is the
+// CI gate ISSUE 6 asks for: zero crashes, zero sanitizer reports, zero
+// canonical-bijection violations. A failure writes the offending input to
+// plan_wire_fuzz_failure.hex (uploaded as a CI artifact) so it can be
+// checked into spec/test-vectors/ as a permanent regression vector.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/plan_wire.h"
+#include "src/testvec/fuzz.h"
+#include "src/testvec/testvec.h"
+
+#ifndef PROSPECTOR_SPEC_DEFAULT
+#define PROSPECTOR_SPEC_DEFAULT "spec/test-vectors"
+#endif
+
+namespace prospector {
+namespace testvec {
+namespace {
+
+std::vector<std::vector<uint8_t>> MustLoadCorpus() {
+  auto corpus = LoadWireCorpus(SpecDirOrDefault(PROSPECTOR_SPEC_DEFAULT));
+  EXPECT_TRUE(corpus.ok()) << corpus.status().ToString();
+  return corpus.ok() ? std::move(*corpus) : std::vector<std::vector<uint8_t>>{};
+}
+
+TEST(DecodeOracleTest, CanonicalInputPasses) {
+  core::Subplan sp;
+  sp.k = 4;
+  sp.outgoing_bandwidth = 2;
+  sp.child_bandwidth = {{1, 2}};
+  auto bytes = core::EncodeSubplan(sp);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_TRUE(CheckDecodeOneInput(*bytes).ok());
+  EXPECT_TRUE(CheckEncodeRoundTrip(*bytes).ok());
+}
+
+TEST(DecodeOracleTest, RejectedInputIsNotAFailure) {
+  EXPECT_TRUE(CheckDecodeOneInput({}).ok());
+  EXPECT_TRUE(CheckDecodeOneInput({0xC7, 0x00, 0x01}).ok());
+}
+
+TEST(DecodeOracleTest, WouldCatchNonCanonicalAcceptance) {
+  // If the decoder ever accepted this overlong-varint spelling, the
+  // re-encode would differ and the oracle must flag it. Today the decoder
+  // rejects it, which the oracle treats as success — this test pins that
+  // the blob stays rejected (the oracle's job stays trivial).
+  const std::vector<uint8_t> overlong = {0x00, 0x01, 0x02, 0x01, 0x85,
+                                         0x00, 0x03};
+  EXPECT_FALSE(core::DecodeSubplan(overlong).ok());
+  EXPECT_TRUE(CheckDecodeOneInput(overlong).ok());
+}
+
+TEST(FuzzCorpusTest, LoadsWireBlobsFromEveryVectorKind) {
+  const auto corpus = MustLoadCorpus();
+  // Roundtrip vectors + error vectors + superplan node subplans all feed
+  // the fuzzer; the corpus is large by construction.
+  EXPECT_GE(corpus.size(), 50u);
+}
+
+TEST(FuzzTest, HundredThousandIterationsCleanRun) {
+  const auto corpus = MustLoadCorpus();
+  ASSERT_FALSE(corpus.empty());
+
+  FuzzOptions options;
+  options.seed = 0x5eed;
+  options.iterations = 100000;
+  const FuzzReport report = FuzzDecodeSubplan(corpus, options);
+
+  if (!report.ok) {
+    // Persist the failing input for CI artifact upload and local triage.
+    const std::string hex = BytesToHex(report.failing_input);
+    if (const Status st = WriteFile("plan_wire_fuzz_failure.hex", hex + "\n");
+        !st.ok()) {
+      std::fprintf(stderr, "could not save failing input: %s\n",
+                   st.ToString().c_str());
+    }
+    FAIL() << "fuzzer found a violation after " << report.iterations
+           << " iterations: " << report.message << "\ninput: " << hex
+           << "\n(saved to plan_wire_fuzz_failure.hex; reproduce with seed 0x"
+           << std::hex << options.seed << ")";
+  }
+  // The budget really ran: deterministic sweep plus the full random phase.
+  EXPECT_GE(report.iterations, options.iterations);
+  // Both outcomes occurred — a fuzzer that only ever rejects (or only
+  // ever accepts) is exploring nothing.
+  EXPECT_GT(report.accepted, 0u);
+  EXPECT_GT(report.rejected, 0u);
+}
+
+TEST(FuzzTest, DistinctSeedsBothRunClean) {
+  // A second, shorter run under a different seed guards against the main
+  // seed having drifted into a lucky corner.
+  const auto corpus = MustLoadCorpus();
+  FuzzOptions options;
+  options.seed = 0xfeedface;
+  options.iterations = 10000;
+  const FuzzReport report = FuzzDecodeSubplan(corpus, options);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+TEST(FuzzTest, DeterministicAcrossRuns) {
+  const auto corpus = MustLoadCorpus();
+  FuzzOptions options;
+  options.iterations = 2000;
+  const FuzzReport a = FuzzDecodeSubplan(corpus, options);
+  const FuzzReport b = FuzzDecodeSubplan(corpus, options);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.ok, b.ok);
+}
+
+}  // namespace
+}  // namespace testvec
+}  // namespace prospector
