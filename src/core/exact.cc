@@ -8,7 +8,8 @@ Result<ExactResult> RunProspectorExact(const PlannerContext& ctx,
                                        int k, double phase1_budget_mj,
                                        const std::vector<double>& truth,
                                        net::NetworkSimulator* sim,
-                                       const LpPlannerOptions& options) {
+                                       const LpPlannerOptions& options,
+                                       TransportGuard* guard) {
   ProofPlanner planner(options);
   PlanRequest request;
   request.k = k;
@@ -17,7 +18,7 @@ Result<ExactResult> RunProspectorExact(const PlannerContext& ctx,
   if (!plan.ok()) return plan.status();
 
   ExactResult result;
-  ProofExecutor executor(&plan.value(), sim);
+  ProofExecutor executor(&plan.value(), sim, MopUpMode::kBroadcast, guard);
   ExecutionResult phase1 = executor.ExecutePhase1(truth);
   result.phase1_energy_mj = phase1.total_energy_mj();
   result.phase1_proven = phase1.proven_count;

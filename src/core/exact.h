@@ -40,13 +40,16 @@ struct ExactResult {
 /// values, run the mop-up phase to retrieve the rest exactly. Sample
 /// knowledge only affects cost, never correctness.
 ///
-/// Charges all messages (trigger + both phases) to `sim`.
+/// Charges all messages (trigger + both phases) to `sim`. `guard`
+/// (optional) applies the fenced transport protocol to both phases — see
+/// CollectionExecutor::Execute.
 Result<ExactResult> RunProspectorExact(const PlannerContext& ctx,
                                        const sampling::SampleSet& samples,
                                        int k, double phase1_budget_mj,
                                        const std::vector<double>& truth,
                                        net::NetworkSimulator* sim,
-                                       const LpPlannerOptions& options = {});
+                                       const LpPlannerOptions& options = {},
+                                       TransportGuard* guard = nullptr);
 
 }  // namespace core
 }  // namespace prospector

@@ -33,7 +33,8 @@ void FinalizeSubtreeLiveness(const net::Topology& topology,
 ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
                                             const std::vector<double>& truth,
                                             net::NetworkSimulator* sim,
-                                            bool include_trigger) {
+                                            bool include_trigger,
+                                            TransportGuard* guard) {
   PROSPECTOR_SPAN("exec.collect");
   const net::Topology& topo = sim->topology();
   const int n = topo.num_nodes();
@@ -62,6 +63,19 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
   double collection = 0.0;
   for (int u : topo.PostOrder()) {
     if (u == topo.root()) continue;
+    if (guard != nullptr) {
+      // Deferred messages from edge u landing this epoch. Fencing refuses
+      // them inside DrainArrivals (always stale); only the naive protocol
+      // gets payloads back and folds them — the silent-wrongness the
+      // chaos soak's tamper-detection run demonstrates.
+      for (DelayedMessage& m :
+           guard->DrainArrivals(GuardChannel::kCollect, u)) {
+        std::vector<Reading>& up = inbox[topo.parent(u)];
+        for (const std::vector<Reading>& flow : m.flows) {
+          up.insert(up.end(), flow.begin(), flow.end());
+        }
+      }
+    }
     // "Expected" is what the watchdog may hold the node to: traffic the
     // plan says must *originate* at u. A pure relay (node-selection mode,
     // not chosen) whose chosen descendants went dark legitimately sends
@@ -102,15 +116,40 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
     }
     attempted[u] = 1;
     result.edge_expected[u] = 1;
+    const FencedHeader header =
+        guard != nullptr ? guard->Stamp(u) : FencedHeader{};
     const net::DeliveryResult sent =
-        sim->TryUnicast(u, static_cast<int>(outgoing.size()));
+        sim->TryUnicast(u, static_cast<int>(outgoing.size()),
+                        guard != nullptr ? guard->header_bytes() : 0);
     collection += sent.energy_mj;
-    if (sent.delivered) {
+    int copies = sent.arrived_now() ? 1 : 0;
+    if (guard != nullptr) {
+      if (sent.delivered && !sent.corrupted && sent.delayed_until_epoch >= 0) {
+        DelayedMessage parked;
+        parked.channel = GuardChannel::kCollect;
+        parked.child_edge = u;
+        parked.arrival_epoch = sent.delayed_until_epoch;
+        parked.header = header;
+        parked.flows.push_back(outgoing);
+        guard->Defer(std::move(parked));
+        copies = 0;
+      } else {
+        copies = guard->AdmitCopies(sent, header, u);
+      }
+    }
+    if (copies > 0) {
       result.edge_delivered[u] = 1;
       std::vector<Reading>& up = inbox[topo.parent(u)];
-      up.insert(up.end(), outgoing.begin(), outgoing.end());
+      for (int rep = 0; rep < copies; ++rep) {
+        up.insert(up.end(), outgoing.begin(), outgoing.end());
+      }
     } else {
-      ++result.messages_dropped;
+      if (sent.delivered && !sent.corrupted &&
+          sent.delayed_until_epoch >= 0) {
+        ++result.messages_deferred;
+      } else {
+        ++result.messages_dropped;
+      }
       result.values_lost += static_cast<int>(outgoing.size());
       result.degraded = true;
     }

@@ -5,6 +5,7 @@
 
 #include "src/core/plan.h"
 #include "src/core/reading.h"
+#include "src/core/transport_guard.h"
 #include "src/net/simulator.h"
 
 namespace prospector {
@@ -35,6 +36,9 @@ struct ExecutionResult {
   /// hop because their message dropped or their holder died.
   int values_lost = 0;
   int messages_dropped = 0;
+  /// Adversarially deferred messages (tier 3): charged and in flight, but
+  /// not arriving this epoch — their readings count in `values_lost`.
+  int messages_deferred = 0;
   bool degraded = false;
   /// Per node u != root: the plan called for traffic originating at u
   /// (or u actually transmitted).
@@ -79,10 +83,19 @@ class CollectionExecutor {
   /// Dead nodes (per the simulator's fault injector) acquire nothing and
   /// send nothing; messages across dead or partitioned edges drop after
   /// the transport's retry budget.
+  ///
+  /// Under an adversarial transport, pass the deployment's TransportGuard:
+  /// messages are stamped (header bytes charged), duplicates fold once,
+  /// corrupt payloads are rejected like drops, and deferred messages park
+  /// in the guard's mailbox — where fencing refuses them on arrival. With
+  /// `guard == nullptr` (the default) behavior is bit-identical to the
+  /// pre-adversarial executor, with corrupt/deferred deliveries treated
+  /// as drops defensively.
   static ExecutionResult Execute(const QueryPlan& plan,
                                  const std::vector<double>& truth,
                                  net::NetworkSimulator* sim,
-                                 bool include_trigger = true);
+                                 bool include_trigger = true,
+                                 TransportGuard* guard = nullptr);
 };
 
 /// Fraction of the true top-k returned by the plan — the accuracy metric

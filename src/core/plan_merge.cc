@@ -57,7 +57,8 @@ Superplan MergePlans(std::vector<QueryPlan> plans,
 SuperplanResult SuperplanExecutor::Execute(const Superplan& superplan,
                                            const std::vector<double>& truth,
                                            net::NetworkSimulator* sim,
-                                           bool include_trigger) {
+                                           bool include_trigger,
+                                           TransportGuard* guard) {
   PROSPECTOR_SPAN("exec.superplan");
   const net::Topology& topo = sim->topology();
   const int n = topo.num_nodes();
@@ -119,6 +120,24 @@ SuperplanResult SuperplanExecutor::Execute(const Superplan& superplan,
   double collection = 0.0;
   for (int u : topo.PostOrder()) {
     if (u == topo.root()) continue;
+
+    if (guard != nullptr) {
+      // Deferred union messages from edge u landing this epoch. Fencing
+      // refuses them inside DrainArrivals; the naive protocol folds each
+      // parked flow into its query's inbox at the parent, matched by
+      // stable query id (queries retired since the send are dropped).
+      for (DelayedMessage& m :
+           guard->DrainArrivals(GuardChannel::kSuperplan, u)) {
+        for (size_t f = 0; f < m.flows.size(); ++f) {
+          for (int q = 0; q < num_queries; ++q) {
+            if (superplan.query_ids[q] != m.flow_ids[f]) continue;
+            std::vector<Reading>& up = inbox[q][topo.parent(u)];
+            up.insert(up.end(), m.flows[f].begin(), m.flows[f].end());
+            break;
+          }
+        }
+      }
+    }
 
     if (!sim->node_alive(u)) {
       // A dead node acquires nothing and forwards nothing; whatever any
@@ -204,8 +223,32 @@ SuperplanResult SuperplanExecutor::Execute(const Superplan& superplan,
     out.shared_values += total_slots - union_values;
     if (senders.size() > 1) ++out.shared_messages;
 
-    const net::DeliveryResult sent = sim->TryUnicast(u, union_values);
+    const FencedHeader header =
+        guard != nullptr ? guard->Stamp(u) : FencedHeader{};
+    const net::DeliveryResult sent =
+        sim->TryUnicast(u, union_values,
+                        guard != nullptr ? guard->header_bytes() : 0);
     collection += sent.energy_mj;
+    int copies = sent.arrived_now() ? 1 : 0;
+    const bool deferred =
+        sent.delivered && !sent.corrupted && sent.delayed_until_epoch >= 0;
+    if (guard != nullptr) {
+      if (deferred) {
+        DelayedMessage parked;
+        parked.channel = GuardChannel::kSuperplan;
+        parked.child_edge = u;
+        parked.arrival_epoch = sent.delayed_until_epoch;
+        parked.header = header;
+        for (int q : senders) {
+          parked.flow_ids.push_back(superplan.query_ids[q]);
+          parked.flows.push_back(outbox[q]);
+        }
+        guard->Defer(std::move(parked));
+        copies = 0;
+      } else {
+        copies = guard->AdmitCopies(sent, header, u);
+      }
+    }
 
     // Attribution: split the per-message overhead equally among the
     // queries aboard, and the value-proportional remainder by charging
@@ -234,21 +277,33 @@ SuperplanResult SuperplanExecutor::Execute(const Superplan& superplan,
       }
     }
 
-    if (sent.delivered) {
+    if (copies > 0) {
       out.edge_delivered[u] = 1;
       const int parent = topo.parent(u);
       for (int q : senders) {
         out.per_query[q].edge_delivered[u] = 1;
         std::vector<Reading>& up = inbox[q][parent];
-        up.insert(up.end(), outbox[q].begin(), outbox[q].end());
+        // copies > 1 only in naive mode: every query aboard receives its
+        // flow that many times and the duplicates ride into the demux.
+        for (int rep = 0; rep < copies; ++rep) {
+          up.insert(up.end(), outbox[q].begin(), outbox[q].end());
+        }
       }
     } else {
-      ++out.messages_dropped;
+      if (deferred) {
+        ++out.messages_deferred;
+      } else {
+        ++out.messages_dropped;
+      }
       out.values_lost += union_values;
       out.degraded = true;
       for (int q : senders) {
         ExecutionResult& r = out.per_query[q];
-        ++r.messages_dropped;
+        if (deferred) {
+          ++r.messages_deferred;
+        } else {
+          ++r.messages_dropped;
+        }
         r.values_lost += static_cast<int>(outbox[q].size());
         r.degraded = true;
       }

@@ -59,6 +59,9 @@ struct SuperplanResult {
   /// however many queries wanted it.
   int values_lost = 0;
   int messages_dropped = 0;
+  /// Adversarially deferred union messages (charged, in flight, not
+  /// arriving this epoch).
+  int messages_deferred = 0;
   bool degraded = false;
   std::vector<char> edge_expected;
   std::vector<char> edge_delivered;
@@ -94,10 +97,16 @@ struct SuperplanResult {
 /// the broadcasting node. The attributions sum to the audited total.
 class SuperplanExecutor {
  public:
+  /// `guard` (optional) applies the fenced transport protocol to every
+  /// union message — see CollectionExecutor::Execute. Deferred union
+  /// messages park with one flow per sender query (keyed by stable query
+  /// id), so a naive fold after the sharer set changed still lands on
+  /// the right surviving queries.
   static SuperplanResult Execute(const Superplan& superplan,
                                  const std::vector<double>& truth,
                                  net::NetworkSimulator* sim,
-                                 bool include_trigger = true);
+                                 bool include_trigger = true,
+                                 TransportGuard* guard = nullptr);
 };
 
 /// Wire subplan for `node` under a merged superplan: the merged plan's

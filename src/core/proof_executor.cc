@@ -52,11 +52,22 @@ ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
   mopup_requests_ = 0;
   InitLinkEvidence(n, &result);
   std::vector<std::vector<Reading>> sent(n);   // what each node passed up
+  // Stale payloads the naive protocol folds at the parent (deferred
+  // messages landing this epoch); always empty under fencing.
+  std::vector<std::vector<Reading>> stale_in(n);
   std::vector<int>& sent_proven = sent_proven_;
 
   double collection = 0.0;
   for (int u : topo.PostOrder()) {
     const bool is_root = u == topo.root();
+    if (!is_root && guard_ != nullptr) {
+      for (DelayedMessage& m :
+           guard_->DrainArrivals(GuardChannel::kProof, u)) {
+        for (const std::vector<Reading>& flow : m.flows) {
+          stale_in[u].insert(stale_in[u].end(), flow.begin(), flow.end());
+        }
+      }
+    }
     if (!is_root && !sim_->node_alive(u)) {
       // A dead node takes no reading and forwards nothing. Proof plans
       // visit every node (bandwidth >= 1), so its silence is watchdog
@@ -72,6 +83,9 @@ ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
     mem.push_back({u, truth[u]});
     for (int c : topo.children(u)) {
       mem.insert(mem.end(), sent[c].begin(), sent[c].end());
+      // Naive protocol only: stale deferred payloads fold in as if fresh
+      // (they carry no proven evidence, but they do pollute the answer).
+      mem.insert(mem.end(), stale_in[c].begin(), stale_in[c].end());
     }
     SortReadings(&mem);
 
@@ -123,10 +137,41 @@ ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
     if (proven > 0) worst_proven_sent_[u] = mem[proven - 1];
     const int extra = proven < out_count ? 1 : 0;
     result.edge_expected[u] = 1;
-    const net::DeliveryResult up = sim_->TryUnicast(u, out_count, extra);
+    const FencedHeader header =
+        guard_ != nullptr ? guard_->Stamp(u) : FencedHeader{};
+    const int hdr = guard_ != nullptr ? guard_->header_bytes() : 0;
+    const net::DeliveryResult up = sim_->TryUnicast(u, out_count, extra + hdr);
     collection += up.energy_mj;
-    if (up.delivered) {
+    int copies = up.arrived_now() ? 1 : 0;
+    const bool deferred =
+        up.delivered && !up.corrupted && up.delayed_until_epoch >= 0;
+    if (guard_ != nullptr) {
+      if (deferred) {
+        DelayedMessage parked;
+        parked.channel = GuardChannel::kProof;
+        parked.child_edge = u;
+        parked.arrival_epoch = up.delayed_until_epoch;
+        parked.header = header;
+        parked.flows.push_back(sent[u]);
+        parked.aux = proven;
+        guard_->Defer(std::move(parked));
+        copies = 0;
+      } else {
+        copies = guard_->AdmitCopies(up, header, u);
+      }
+    }
+    if (copies > 0) {
       result.edge_delivered[u] = 1;
+      // Naive duplicates fold the list again: the parent's (c.3) check
+      // (|list| == subtree size) can now falsely certify — exactly the
+      // overclaimed proof the fence exists to prevent.
+      if (copies > 1) {
+        const std::vector<Reading> once(sent[u].begin(),
+                                        sent[u].begin() + out_count);
+        for (int rep = 1; rep < copies; ++rep) {
+          sent[u].insert(sent[u].end(), once.begin(), once.end());
+        }
+      }
     } else {
       // The parent hears nothing: from its viewpoint this child sent an
       // empty list with zero proven values, so conditions (c.1)-(c.3)
@@ -134,7 +179,11 @@ ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
       sent[u].clear();
       sent_proven[u] = 0;
       sent_count_[u] = 0;
-      ++result.messages_dropped;
+      if (deferred) {
+        ++result.messages_deferred;
+      } else {
+        ++result.messages_dropped;
+      }
       result.values_lost += out_count;
       result.degraded = true;
     }
@@ -157,6 +206,44 @@ ExecutionResult ProofExecutor::ExecutePhase1(const std::vector<double>& truth,
                           sim_->stats().total_energy_mj - ledger_before_mj);
   PROSPECTOR_COUNTER_ADD("exec.proof.phase1_runs", 1);
   return result;
+}
+
+bool ProofExecutor::SendMopUpReply(int c,
+                                   const std::vector<Reading>& readings,
+                                   std::vector<Reading>* fetched) {
+  mopup_values_moved_ += static_cast<int>(readings.size());
+  const FencedHeader header =
+      guard_ != nullptr ? guard_->Stamp(c) : FencedHeader{};
+  const int hdr = guard_ != nullptr ? guard_->header_bytes() : 0;
+  const net::DeliveryResult up =
+      sim_->TryUnicast(c, static_cast<int>(readings.size()), hdr);
+  int copies = up.arrived_now() ? 1 : 0;
+  if (guard_ != nullptr) {
+    if (up.delivered && !up.corrupted && up.delayed_until_epoch >= 0) {
+      DelayedMessage parked;
+      parked.channel = GuardChannel::kProof;
+      parked.child_edge = c;
+      parked.arrival_epoch = up.delayed_until_epoch;
+      parked.header = header;
+      parked.flows.push_back(readings);
+      guard_->Defer(std::move(parked));
+      copies = 0;
+    } else {
+      copies = guard_->AdmitCopies(up, header, c);
+    }
+  }
+  if (copies == 0) {
+    ++mopup_drops_;
+    mopup_values_lost_ += static_cast<int>(readings.size());
+    degraded_ = true;
+    return false;
+  }
+  // Naive duplicates append again; the caller's by-node-id merge absorbs
+  // them (mop-up was already idempotent there).
+  for (int rep = 0; rep < copies; ++rep) {
+    fetched->insert(fetched->end(), readings.begin(), readings.end());
+  }
+  return true;
 }
 
 ProofExecutor::MopUpReply ProofExecutor::MopUpAtNode(int u, int t,
@@ -206,17 +293,7 @@ ProofExecutor::MopUpReply ProofExecutor::MopUpAtNode(int u, int t,
             continue;
           }
           MopUpReply reply = MopUpAtNode(c, t_prime, lo_prime, hi_prime);
-          mopup_values_moved_ += static_cast<int>(reply.readings.size());
-          const net::DeliveryResult up =
-              sim_->TryUnicast(c, static_cast<int>(reply.readings.size()));
-          if (!up.delivered) {
-            ++mopup_drops_;
-            mopup_values_lost_ += static_cast<int>(reply.readings.size());
-            degraded_ = true;
-            continue;
-          }
-          fetched.insert(fetched.end(), reply.readings.begin(),
-                         reply.readings.end());
+          SendMopUpReply(c, reply.readings, &fetched);
         }
       } else {
         for (int c : topo.children(u)) {
@@ -236,28 +313,25 @@ ProofExecutor::MopUpReply ProofExecutor::MopUpAtNode(int u, int t,
             hi_c = worst_proven_sent_[c];
           }
           if (!ReadingRanksHigher(hi_c, lo_prime)) continue;  // empty range
-          // Tailored request down; a lost request means the child never
-          // answers this round.
+          // Tailored request down; a lost, corrupted, or deferred request
+          // means the child never answers this round (requests are not
+          // parked — a stale request would be fenced at the child anyway).
+          const FencedHeader req_header =
+              guard_ != nullptr ? guard_->Stamp(c) : FencedHeader{};
+          const int hdr = guard_ != nullptr ? guard_->header_bytes() : 0;
           const net::DeliveryResult req =
-              sim_->TryUnicast(c, 0, kMopUpRequestBytes);
+              sim_->TryUnicast(c, 0, kMopUpRequestBytes + hdr);
           ++mopup_requests_;
-          if (!req.delivered) {
+          const bool heard = guard_ != nullptr
+                                 ? guard_->AdmitCopies(req, req_header, c) > 0
+                                 : req.arrived_now();
+          if (!heard) {
             ++mopup_drops_;
             degraded_ = true;
             continue;
           }
           MopUpReply reply = MopUpAtNode(c, t_prime, lo_prime, hi_c);
-          mopup_values_moved_ += static_cast<int>(reply.readings.size());
-          const net::DeliveryResult up =
-              sim_->TryUnicast(c, static_cast<int>(reply.readings.size()));
-          if (!up.delivered) {
-            ++mopup_drops_;
-            mopup_values_lost_ += static_cast<int>(reply.readings.size());
-            degraded_ = true;
-            continue;
-          }
-          fetched.insert(fetched.end(), reply.readings.begin(),
-                         reply.readings.end());
+          SendMopUpReply(c, reply.readings, &fetched);
         }
       }
       // Merge, deduplicating by node id (proven values a child re-serves

@@ -51,9 +51,12 @@ enum class MopUpMode {
 class ProofExecutor {
  public:
   /// `plan` must be proof-carrying with bandwidth >= 1 on every edge.
+  /// `guard` (optional) applies the fenced transport protocol to every
+  /// phase-1 list and mop-up message — see CollectionExecutor::Execute.
   ProofExecutor(const QueryPlan* plan, net::NetworkSimulator* sim,
-                MopUpMode mode = MopUpMode::kBroadcast)
-      : plan_(plan), sim_(sim), mode_(mode) {}
+                MopUpMode mode = MopUpMode::kBroadcast,
+                TransportGuard* guard = nullptr)
+      : plan_(plan), sim_(sim), mode_(mode), guard_(guard) {}
 
   /// Phase 1. `result.proven_count` is the root's proven prefix length.
   /// Under fault injection / lossy transport, dropped child lists simply
@@ -91,10 +94,16 @@ class ProofExecutor {
   };
 
   MopUpReply MopUpAtNode(int u, int t, const Reading& lo, const Reading& hi);
+  /// Sends a mop-up reply up edge `c` through the guarded transport;
+  /// appends the delivered copies to `fetched` and keeps the loss
+  /// accounting. Returns false when nothing arrived this epoch.
+  bool SendMopUpReply(int c, const std::vector<Reading>& readings,
+                      std::vector<Reading>* fetched);
 
   const QueryPlan* plan_;
   net::NetworkSimulator* sim_;
   MopUpMode mode_;
+  TransportGuard* guard_ = nullptr;
   std::vector<std::vector<Reading>> retrieved_;  // sorted best-first
   std::vector<int> proven_count_;
   // Phase-1 bookkeeping the per-child mop-up uses: how many values each

@@ -56,6 +56,16 @@ QueryEngine::QueryEngine(const net::Topology* topology,
     sim_.set_fault_injector(&injector_);
   }
   sim_.set_lossy_transport(options_.lossy);
+  sim_.set_adversarial_transport(options_.adversarial);
+  // The protocol layer fences exactly when the adversary can strike
+  // (config rates, scripted adversarial events, or forced on): otherwise
+  // the engine runs the seed protocol verbatim — no guard, no header
+  // bytes, bit-identical draws.
+  guarding_ = options_.adversarial.enabled ||
+              options_.faults.has_adversarial() ||
+              options_.fencing == TransportFencing::kFenced;
+  guard_ = TransportGuard(options_.fencing != TransportFencing::kNaive);
+  if (guarding_) sim_.set_fence_header_bytes(guard_.header_bytes());
   orig_of_.resize(topology->num_nodes());
   for (int i = 0; i < topology->num_nodes(); ++i) orig_of_[i] = i;
   silent_.assign(topology->num_nodes(), 0);
@@ -95,6 +105,12 @@ PlannerContext QueryEngine::CtxFor(int lease) const {
   return ctx;
 }
 
+net::TransmissionStats QueryEngine::TakeRadioStats() {
+  net::TransmissionStats stats = sim_.TakeStats();
+  radio_totals_.Accumulate(stats);
+  return stats;
+}
+
 Result<bool> QueryEngine::ReplanQuery(QueryState* q) {
   PROSPECTOR_SPAN("session.replan");
   const int64_t start_us = obs::MonotonicNowUs();
@@ -103,14 +119,17 @@ Result<bool> QueryEngine::ReplanQuery(QueryState* q) {
   q->last_replan_latency_ms =
       static_cast<double>(obs::MonotonicNowUs() - start_us) / 1000.0;
   if (changed.ok() && *changed) {
-    const double spent = sim_.TakeStats().total_energy_mj;
+    const double spent = TakeRadioStats().total_energy_mj;
     install_energy_ += spent;
     q->install_energy_mj += spent;
+    // Messages stamped under the previous plan are now stale; the fence
+    // refuses them at arrival.
+    if (guarding_) guard_.BumpPlanEpoch();
     PROSPECTOR_COUNTER_ADD("session.replans", 1);
     PROSPECTOR_HISTOGRAM_RECORD("session.replan_latency_us",
                                 q->last_replan_latency_ms * 1000.0);
   } else {
-    sim_.ResetStats();
+    TakeRadioStats();
   }
   return changed;
 }
@@ -209,6 +228,11 @@ Result<bool> QueryEngine::MaybeHeal(TickResult* result) {
   }
   if (injecting_) injector_.Remap(new_id, new_n);
 
+  // Drain the old simulator's ledger while the topology it references is
+  // still alive: replacing owned_topology_ below frees the tree a
+  // previous rebuild installed, and TakeStats resizes per-node ledgers
+  // off topology_->num_nodes().
+  TakeRadioStats();
   owned_topology_ =
       std::make_unique<net::Topology>(std::move(rebuilt->topology));
   topology_ = owned_topology_.get();
@@ -225,6 +249,14 @@ Result<bool> QueryEngine::MaybeHeal(TickResult* result) {
       seed_ ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(rebuilds_)));
   if (injecting_) sim_.set_fault_injector(&injector_);
   sim_.set_lossy_transport(options_.lossy);
+  sim_.set_adversarial_transport(options_.adversarial);
+  sim_.set_epoch(epoch_ - 1);  // MaybeHeal runs inside the current tick
+  if (guarding_) {
+    sim_.set_fence_header_bytes(guard_.header_bytes());
+    // In-flight messages die with the old tree: their edge ids and
+    // sequence state mean nothing on the rebuilt topology.
+    guard_.Clear();
+  }
 
   // Installed plans index nodes that no longer exist; replace every one
   // unconditionally on the surviving topology.
@@ -295,6 +327,8 @@ Result<QueryEngine::TickResult> QueryEngine::Tick(
   PROSPECTOR_SPAN("session.tick");
   PROSPECTOR_COUNTER_ADD("session.epochs", 1);
   const int this_epoch = epoch_++;
+  sim_.set_epoch(this_epoch);
+  if (guarding_) guard_.StartEpoch(this_epoch);
   if (injecting_) injector_.AdvanceTo(this_epoch);
 
   auto& queries = registry_.entries();
@@ -346,7 +380,7 @@ Result<QueryEngine::TickResult> QueryEngine::Tick(
         sweep.energy_mj / static_cast<double>(queries.size());
     PROSPECTOR_AUDIT_ENERGY("session.explore", sweep.energy_mj,
                             sim_.stats().total_energy_mj);
-    sim_.ResetStats();
+    TakeRadioStats();
     result.degraded = sweep.degraded;
     result.values_lost = sweep.values_lost;
     result.energy_mj = sweep.energy_mj;
@@ -404,10 +438,9 @@ Result<QueryEngine::TickResult> QueryEngine::Tick(
       auto exact = RunProspectorExact(
           CtxFor(q->id), q->samples, q->spec.k,
           ProofPlanner::MinimumCost(ctx_) * q->spec.audit_budget_factor,
-          *cur_truth, &sim_, q->spec.lp);
+          *cur_truth, &sim_, q->spec.lp, guard());
       [[maybe_unused]] const double audit_ledger_mj =
-          sim_.stats().total_energy_mj;
-      sim_.ResetStats();
+          TakeRadioStats().total_energy_mj;
       if (!exact.ok()) return exact.status();
       PROSPECTOR_AUDIT_ENERGY("session.audit", exact->total_energy_mj(),
                               audit_ledger_mj);
@@ -443,11 +476,11 @@ Result<QueryEngine::TickResult> QueryEngine::Tick(
       ids.push_back(queries[i]->id);
     }
     superplan_ = MergePlans(std::move(plans), *topology_, std::move(ids));
-    SuperplanResult sr =
-        SuperplanExecutor::Execute(superplan_, *cur_truth, &sim_);
+    SuperplanResult sr = SuperplanExecutor::Execute(
+        superplan_, *cur_truth, &sim_, /*include_trigger=*/true, guard());
     PROSPECTOR_AUDIT_ENERGY("session.query", sr.total_energy_mj(),
                             sim_.stats().total_energy_mj);
-    sim_.ResetStats();
+    TakeRadioStats();
     double attributed_sum = 0.0;
     for (double a : sr.attributed_mj) attributed_sum += a;
     PROSPECTOR_AUDIT_ENERGY("engine.superplan.attribution", attributed_sum,

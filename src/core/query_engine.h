@@ -56,6 +56,15 @@ struct QueryEngineOptions {
   net::FaultSchedule faults;
   /// Transport tier 2: bounded retries with backoff, then genuine drops.
   net::LossyTransport lossy;
+  /// Transport tier 3: rate-based duplication / corruption / delay
+  /// (scripted per-edge events ride in `faults`). Validated at engine
+  /// construction like the failure model.
+  net::AdversarialTransport adversarial;
+  /// Protocol defense against tier 3. kAuto fences exactly when any
+  /// adversarial knob is active (config rates or scripted events), so a
+  /// tier-1/2 engine stays bit-identical to the seed; kNaive is the
+  /// deliberately-broken mode the chaos soak's tamper check uses.
+  TransportFencing fencing = TransportFencing::kAuto;
   /// Shared watchdog: a non-root subtree silent for this many consecutive
   /// observed epochs is declared dead and the tree is rebuilt without it.
   /// 0 disables.
@@ -238,6 +247,16 @@ class QueryEngine {
   const net::FaultInjector* fault_injector() const {
     return injecting_ ? &injector_ : nullptr;
   }
+  /// The transport guard defending this deployment's protocol layer, or
+  /// nullptr when no adversarial knob is active (tier-1/2 engines run the
+  /// seed protocol verbatim).
+  const TransportGuard* transport_guard() const {
+    return guarding_ ? &guard_ : nullptr;
+  }
+  /// Cumulative radio-level transmission accounting across every phase
+  /// (sweeps, installs, audits, query epochs) and every rebuild — the
+  /// ledger the chaos soak reconciles guard counters against.
+  const net::TransmissionStats& radio_totals() const { return radio_totals_; }
   const PlanningWorkspace& workspace() const { return workspace_; }
   /// The merged superplan of the most recent query epoch (empty before
   /// the first one).
@@ -256,6 +275,10 @@ class QueryEngine {
  private:
   const QueryState& At(int id) const;
   PlannerContext CtxFor(int lease) const;
+  TransportGuard* guard() { return guarding_ ? &guard_ : nullptr; }
+  /// Drains the simulator's ledger into `radio_totals_` (every phase ends
+  /// through here so the cumulative accounting survives ResetStats).
+  net::TransmissionStats TakeRadioStats();
   Result<bool> ReplanQuery(QueryState* q);
   void ObserveEdges(const std::vector<char>& expected,
                     const std::vector<char>& delivered);
@@ -273,6 +296,9 @@ class QueryEngine {
   Rng rng_;
   int epoch_ = 0;
   Superplan superplan_;
+  TransportGuard guard_;
+  bool guarding_ = false;
+  net::TransmissionStats radio_totals_;
 
   /// Recent collected sweeps (current-tree indexing, oldest first) —
   /// what hydrates the window of a query admitted mid-flight. Capped at

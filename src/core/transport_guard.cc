@@ -1,0 +1,87 @@
+#include "src/core/transport_guard.h"
+
+#include <utility>
+
+#include "src/obs/obs.h"
+
+namespace prospector {
+namespace core {
+
+int TransportGuard::AdmitCopies(const net::DeliveryResult& d,
+                                const FencedHeader& h, int child_edge) {
+  if (!d.delivered) return 0;
+  if (d.corrupted) {
+    // Integrity check, independent of fencing: a mangled payload is
+    // rejected like a drop in both modes.
+    ++counters_.corrupt_rejected;
+    PROSPECTOR_COUNTER_ADD("transport.corrupt_rejected", 1);
+    return 0;
+  }
+  if (d.delayed_until_epoch >= 0) return 0;  // park it via Defer()
+  if (!fencing_) {
+    if (d.delivered_copies > 1) {
+      counters_.duplicates_folded += d.delivered_copies - 1;
+      PROSPECTOR_COUNTER_ADD("transport.duplicates_folded",
+                             d.delivered_copies - 1);
+    }
+    return d.delivered_copies;
+  }
+  if (h.send_epoch != epoch_ || h.plan_epoch != plan_epoch_) {
+    // Cannot happen on the direct delivery path (stale messages travel
+    // through the mailbox), but the receiver checks anyway: the fence is
+    // the header, not the caller's discipline.
+    counters_.stale_fenced += d.delivered_copies;
+    PROSPECTOR_COUNTER_ADD("transport.stale_fenced", d.delivered_copies);
+    return 0;
+  }
+  Reserve(child_edge);
+  if (h.seq <= watermark_[child_edge]) {
+    // Every copy replays an already-folded sequence number.
+    counters_.duplicates_dropped += d.delivered_copies;
+    PROSPECTOR_COUNTER_ADD("transport.duplicates_dropped",
+                           d.delivered_copies);
+    return 0;
+  }
+  watermark_[child_edge] = h.seq;
+  if (d.delivered_copies > 1) {
+    counters_.duplicates_dropped += d.delivered_copies - 1;
+    PROSPECTOR_COUNTER_ADD("transport.duplicates_dropped",
+                           d.delivered_copies - 1);
+  }
+  return 1;
+}
+
+void TransportGuard::Defer(DelayedMessage msg) {
+  ++counters_.deferred;
+  PROSPECTOR_COUNTER_ADD("transport.deferred", 1);
+  mailbox_.push_back(std::move(msg));
+}
+
+std::vector<DelayedMessage> TransportGuard::DrainArrivals(GuardChannel channel,
+                                                          int child_edge) {
+  std::vector<DelayedMessage> out;
+  for (size_t i = 0; i < mailbox_.size();) {
+    DelayedMessage& m = mailbox_[i];
+    if (m.channel != channel || m.child_edge != child_edge ||
+        m.arrival_epoch > epoch_) {
+      ++i;
+      continue;
+    }
+    if (fencing_) {
+      // A deferred message is at least one epoch old when it lands: its
+      // send-epoch stamp can never match the receiver's clock, so the
+      // fence refuses it unconditionally.
+      ++counters_.stale_fenced;
+      PROSPECTOR_COUNTER_ADD("transport.stale_fenced", 1);
+    } else {
+      ++counters_.stale_folded;
+      PROSPECTOR_COUNTER_ADD("transport.stale_folded", 1);
+      out.push_back(std::move(m));
+    }
+    mailbox_.erase(mailbox_.begin() + static_cast<long>(i));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace prospector

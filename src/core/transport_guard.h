@@ -1,0 +1,178 @@
+#ifndef PROSPECTOR_CORE_TRANSPORT_GUARD_H_
+#define PROSPECTOR_CORE_TRANSPORT_GUARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/reading.h"
+#include "src/net/simulator.h"
+
+namespace prospector {
+namespace core {
+
+/// The fenced per-message protocol header (see DESIGN.md, "Failure
+/// semantics"): a plan-epoch stamp, the sending epoch, and a per-edge
+/// sequence number. Together they let a receiver refuse stale messages
+/// (sent under an older epoch or an older installed plan) and fold each
+/// sequence number at most once (duplicate suppression). Encoded size is
+/// TransportGuard::kHeaderBytes, charged on every guarded unicast as
+/// `extra_bytes` so plans are priced honestly.
+struct FencedHeader {
+  int plan_epoch = 0;
+  int send_epoch = 0;
+  uint32_t seq = 0;
+};
+
+/// Which protocol flow a guarded message belongs to. Delayed messages are
+/// re-delivered only to the flow that sent them — a stale sweep bundle
+/// must not surface inside a proof phase.
+enum class GuardChannel {
+  kCollect = 0,    ///< CollectionExecutor upward lists
+  kProof = 1,      ///< ProofExecutor phase-1 lists and mop-up replies
+  kSuperplan = 2,  ///< SuperplanExecutor union messages
+};
+
+/// A message the adversary deferred into a later epoch: the sender was
+/// charged at send time, the payload sits "in the air" until
+/// `arrival_epoch`. Fencing destroys it on arrival (stale by
+/// construction); the naive protocol folds it into the receiver's inbox
+/// as if it were fresh.
+struct DelayedMessage {
+  GuardChannel channel = GuardChannel::kCollect;
+  int child_edge = -1;
+  int arrival_epoch = 0;
+  FencedHeader header;
+  /// The readings aboard, one list per logical flow. Single-flow
+  /// executors use flows.size() == 1; the superplan stores one list per
+  /// sender query, parallel to `flow_ids` (stable engine query ids).
+  std::vector<int> flow_ids;
+  std::vector<std::vector<Reading>> flows;
+  /// Flow-specific extra (proof phase 1: the sender's proven count).
+  int aux = 0;
+};
+
+/// How the protocol layer treats the adversarial tier.
+enum class TransportFencing {
+  /// Fenced when any adversarial knob is active, plain seed protocol
+  /// otherwise (the default).
+  kAuto,
+  /// Always stamp, dedup, and refuse stale — even with no adversary.
+  kFenced,
+  /// Adversary-aware mailbox but NO fencing: duplicates fold multiple
+  /// times and delayed messages fold on arrival. This is the
+  /// deliberately-broken protocol the chaos soak's tamper-detection
+  /// check must catch — never use it for real results.
+  kNaive,
+};
+
+/// The protocol layer's defense against the tier-3 adversarial transport
+/// (duplication, corruption, delayed delivery — see DESIGN.md, "Failure
+/// semantics"). One guard serves every executor of a deployment:
+///
+///  - senders Stamp() a FencedHeader per message and pay kHeaderBytes;
+///  - receivers AdmitCopies() every delivery: corrupt payloads are
+///    rejected like drops (integrity check, both modes), duplicates fold
+///    exactly once under fencing (per-edge sequence watermark), and
+///  - delayed messages are parked via Defer() and surfaced by
+///    DrainArrivals() at their arrival epoch — where fencing refuses
+///    them (a delayed message is always at least one epoch stale), while
+///    the naive mode hands them back for folding.
+///
+/// Counters mirror the obs metrics (`transport.duplicates_dropped`,
+/// `transport.stale_fenced`, `transport.corrupt_rejected`) so invariant
+/// checks need no registry access. With no adversary active a fenced
+/// guard only adds header bytes; with `guard == nullptr` every executor
+/// behaves bit-identically to the seed.
+class TransportGuard {
+ public:
+  /// Encoded header size: epoch stamp + sequence number, varint-packed
+  /// like the plan wire (4 bytes epoch/plan generation, 4 bytes seq).
+  static constexpr int kHeaderBytes = 8;
+
+  struct Counters {
+    int64_t duplicates_dropped = 0;  ///< extra copies suppressed (fenced)
+    int64_t stale_fenced = 0;        ///< late arrivals refused (fenced)
+    int64_t corrupt_rejected = 0;    ///< mangled payloads rejected
+    int64_t deferred = 0;            ///< messages parked for late arrival
+    /// Naive-mode damage (always 0 under fencing — the chaos soak's
+    /// structural invariant, and what its tamper-detection run proves
+    /// non-zero when fencing is broken):
+    int64_t stale_folded = 0;      ///< late arrivals folded into answers
+    int64_t duplicates_folded = 0; ///< extra copies folded into answers
+  };
+
+  explicit TransportGuard(bool fencing = true) : fencing_(fencing) {}
+
+  bool fencing() const { return fencing_; }
+  /// Extra bytes every guarded unicast pays. The naive protocol sends no
+  /// header (nothing checks it), which keeps "header bytes charged only
+  /// when fencing is enabled" true by construction.
+  int header_bytes() const { return fencing_ ? kHeaderBytes : 0; }
+
+  /// Advances the receive clock; call once per engine epoch.
+  void StartEpoch(int epoch) { epoch_ = epoch; }
+  /// A new plan generation was installed (replan or rebuild); messages
+  /// stamped under the previous generation become stale.
+  void BumpPlanEpoch() { ++plan_epoch_; }
+  int epoch() const { return epoch_; }
+  int plan_epoch() const { return plan_epoch_; }
+
+  /// Topology rebuild: in-flight messages and sequence state die with the
+  /// old tree (their edge ids no longer mean anything).
+  void Clear() {
+    mailbox_.clear();
+    seq_.clear();
+    watermark_.clear();
+  }
+
+  /// Stamps the header for a message leaving `child_edge` now.
+  FencedHeader Stamp(int child_edge) {
+    Reserve(child_edge);
+    return FencedHeader{plan_epoch_, epoch_, ++seq_[child_edge]};
+  }
+
+  /// Classifies one delivery: how many copies the receiver folds into its
+  /// inbox THIS epoch. 0 for drops, corrupt payloads (rejected in both
+  /// modes — the CRC is not what fencing toggles), deferred messages
+  /// (park them with Defer), and fenced stale/duplicate arrivals. The
+  /// naive mode returns `delivered_copies`, folding every duplicate.
+  int AdmitCopies(const net::DeliveryResult& d, const FencedHeader& h,
+                  int child_edge);
+
+  /// Parks a deferred message until its arrival epoch. Call exactly when
+  /// `d.delivered && !d.corrupted && d.delayed_until_epoch >= 0`.
+  void Defer(DelayedMessage msg);
+
+  /// Surfaces every parked `channel` message for `child_edge` whose
+  /// arrival epoch has come. Fencing destroys them (counted stale_fenced)
+  /// and returns nothing; the naive mode returns them for folding
+  /// (counted stale_folded).
+  std::vector<DelayedMessage> DrainArrivals(GuardChannel channel,
+                                            int child_edge);
+
+  /// Messages still in the air (deferred, arrival epoch not yet drained).
+  int pending() const { return static_cast<int>(mailbox_.size()); }
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void Reserve(int child_edge) {
+    if (child_edge >= static_cast<int>(seq_.size())) {
+      seq_.resize(child_edge + 1, 0);
+      watermark_.resize(child_edge + 1, 0);
+    }
+  }
+
+  bool fencing_;
+  int epoch_ = 0;
+  int plan_epoch_ = 0;
+  std::vector<uint32_t> seq_;        // per-edge send counter
+  std::vector<uint32_t> watermark_;  // per-edge highest folded seq
+  std::vector<DelayedMessage> mailbox_;
+  Counters counters_;
+};
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_TRANSPORT_GUARD_H_

@@ -4,6 +4,16 @@
 
 namespace prospector {
 namespace net {
+namespace {
+
+// Keeps the armed-edge count in step when one knob of `adv` flips.
+void CountArmed(const EdgeAdversary& before, const EdgeAdversary& after,
+                int* num_adversarial) {
+  if (!before.any() && after.any()) ++*num_adversarial;
+  if (before.any() && !after.any()) --*num_adversarial;
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(int num_nodes, FaultSchedule schedule, int root)
     : num_nodes_(num_nodes),
@@ -12,7 +22,8 @@ FaultInjector::FaultInjector(int num_nodes, FaultSchedule schedule, int root)
       dead_(num_nodes, 0),
       cut_(num_nodes, 0),
       has_override_(num_nodes, 0),
-      prob_override_(num_nodes, 0.0) {
+      prob_override_(num_nodes, 0.0),
+      adversary_(num_nodes) {
   // Stable sort keeps script order among same-epoch events, so a script
   // is replayed exactly as written.
   std::stable_sort(events_.begin(), events_.end(),
@@ -49,6 +60,33 @@ void FaultInjector::Apply(const FaultEvent& event) {
     case FaultEvent::Kind::kHealSubtree:
       cut_[v] = 0;
       break;
+    case FaultEvent::Kind::kDuplicateEdge: {
+      EdgeAdversary after = adversary_[v];
+      after.has_duplicate = event.probability > 0.0;
+      after.duplicate_prob = after.has_duplicate ? event.probability : 0.0;
+      after.duplicate_copies =
+          after.has_duplicate ? std::max(1, event.param) : 1;
+      CountArmed(adversary_[v], after, &num_adversarial_);
+      adversary_[v] = after;
+      break;
+    }
+    case FaultEvent::Kind::kCorruptEdge: {
+      EdgeAdversary after = adversary_[v];
+      after.has_corrupt = event.probability > 0.0;
+      after.corrupt_prob = after.has_corrupt ? event.probability : 0.0;
+      CountArmed(adversary_[v], after, &num_adversarial_);
+      adversary_[v] = after;
+      break;
+    }
+    case FaultEvent::Kind::kDelayEdge: {
+      EdgeAdversary after = adversary_[v];
+      after.has_delay = event.probability > 0.0;
+      after.delay_prob = after.has_delay ? event.probability : 0.0;
+      after.delay_epochs = after.has_delay ? std::max(1, event.param) : 1;
+      CountArmed(adversary_[v], after, &num_adversarial_);
+      adversary_[v] = after;
+      break;
+    }
   }
 }
 
@@ -65,7 +103,9 @@ void FaultInjector::Remap(const std::vector<int>& new_id, int new_num_nodes) {
   std::vector<char> dead(new_num_nodes, 0), cut(new_num_nodes, 0),
       has(new_num_nodes, 0);
   std::vector<double> prob(new_num_nodes, 0.0);
+  std::vector<EdgeAdversary> adversary(new_num_nodes);
   num_dead_ = 0;
+  num_adversarial_ = 0;
   for (int i = 0; i < num_nodes_; ++i) {
     const int j = i < static_cast<int>(new_id.size()) ? new_id[i] : -1;
     if (j < 0) continue;
@@ -73,12 +113,15 @@ void FaultInjector::Remap(const std::vector<int>& new_id, int new_num_nodes) {
     cut[j] = cut_[i];
     has[j] = has_override_[i];
     prob[j] = prob_override_[i];
+    adversary[j] = adversary_[i];
     if (dead[j]) ++num_dead_;
+    if (adversary[j].any()) ++num_adversarial_;
   }
   dead_ = std::move(dead);
   cut_ = std::move(cut);
   has_override_ = std::move(has);
   prob_override_ = std::move(prob);
+  adversary_ = std::move(adversary);
 
   // Pending events follow the survivors; events naming removed nodes drop.
   std::vector<FaultEvent> pending;

@@ -28,6 +28,22 @@ struct FaultEvent {
     kPartitionSubtree,
     /// Undo a kPartitionSubtree on the same node.
     kHealSubtree,
+    /// Adversarial tier 3 (see DESIGN.md, "Failure semantics"): arm the
+    /// edge above `node` so each delivered message is duplicated with
+    /// `probability` (a retransmit after a lost ACK — the receiver sees
+    /// `param` extra copies, the sender pays per copy). probability == 0
+    /// disarms, reverting the edge to the simulator-wide
+    /// AdversarialTransport rate.
+    kDuplicateEdge,
+    /// Arm payload corruption on the edge above `node`: each delivered
+    /// message is corrupted with `probability` (the receiver's integrity
+    /// check must reject it like a drop). probability == 0 disarms.
+    kCorruptEdge,
+    /// Arm delayed delivery on the edge above `node`: each delivered
+    /// message is deferred with `probability` by `param` epochs (stale
+    /// arrival — what plan-epoch fencing exists to refuse).
+    /// probability == 0 disarms.
+    kDelayEdge,
   };
 
   int epoch = 0;
@@ -35,7 +51,10 @@ struct FaultEvent {
   /// The affected node; for edge events this is the child id that owns
   /// the edge (edge id == child node id throughout the library).
   int node = -1;
-  double probability = 0.0;  ///< kDegradeEdge only
+  double probability = 0.0;  ///< kDegradeEdge / adversarial arm events
+  /// kDuplicateEdge: extra copies per duplicated message (>= 1);
+  /// kDelayEdge: epochs of deferral (>= 1). Ignored elsewhere.
+  int param = 1;
 };
 
 /// A deterministic scripted fault timeline. The schedule is plain data:
@@ -45,32 +64,80 @@ struct FaultSchedule {
   std::vector<FaultEvent> events;
 
   FaultSchedule& KillNode(int epoch, int node) {
-    events.push_back({epoch, FaultEvent::Kind::kKillNode, node, 0.0});
+    events.push_back({epoch, FaultEvent::Kind::kKillNode, node, 0.0, 1});
     return *this;
   }
   FaultSchedule& ReviveNode(int epoch, int node) {
-    events.push_back({epoch, FaultEvent::Kind::kReviveNode, node, 0.0});
+    events.push_back({epoch, FaultEvent::Kind::kReviveNode, node, 0.0, 1});
     return *this;
   }
   FaultSchedule& DegradeEdge(int epoch, int child_edge, double probability) {
     events.push_back(
-        {epoch, FaultEvent::Kind::kDegradeEdge, child_edge, probability});
+        {epoch, FaultEvent::Kind::kDegradeEdge, child_edge, probability, 1});
     return *this;
   }
   FaultSchedule& RestoreEdge(int epoch, int child_edge) {
-    events.push_back({epoch, FaultEvent::Kind::kRestoreEdge, child_edge, 0.0});
+    events.push_back(
+        {epoch, FaultEvent::Kind::kRestoreEdge, child_edge, 0.0, 1});
     return *this;
   }
   FaultSchedule& PartitionSubtree(int epoch, int node) {
-    events.push_back({epoch, FaultEvent::Kind::kPartitionSubtree, node, 0.0});
+    events.push_back(
+        {epoch, FaultEvent::Kind::kPartitionSubtree, node, 0.0, 1});
     return *this;
   }
   FaultSchedule& HealSubtree(int epoch, int node) {
-    events.push_back({epoch, FaultEvent::Kind::kHealSubtree, node, 0.0});
+    events.push_back({epoch, FaultEvent::Kind::kHealSubtree, node, 0.0, 1});
+    return *this;
+  }
+  FaultSchedule& DuplicateEdge(int epoch, int child_edge, double probability,
+                               int copies = 1) {
+    events.push_back({epoch, FaultEvent::Kind::kDuplicateEdge, child_edge,
+                      probability, copies});
+    return *this;
+  }
+  FaultSchedule& CorruptEdge(int epoch, int child_edge, double probability) {
+    events.push_back(
+        {epoch, FaultEvent::Kind::kCorruptEdge, child_edge, probability, 1});
+    return *this;
+  }
+  FaultSchedule& DelayEdge(int epoch, int child_edge, double probability,
+                           int delay_epochs = 1) {
+    events.push_back({epoch, FaultEvent::Kind::kDelayEdge, child_edge,
+                      probability, delay_epochs});
     return *this;
   }
 
   bool empty() const { return events.empty(); }
+  /// True when any scripted event is one of the tier-3 adversarial kinds
+  /// (the owner then needs a TransportGuard even if the simulator-wide
+  /// AdversarialTransport rates are all zero).
+  bool has_adversarial() const {
+    for (const FaultEvent& e : events) {
+      if (e.kind == FaultEvent::Kind::kDuplicateEdge ||
+          e.kind == FaultEvent::Kind::kCorruptEdge ||
+          e.kind == FaultEvent::Kind::kDelayEdge) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Scripted per-edge adversarial overrides currently armed on one edge.
+/// A knob with `has_* == false` falls back to the simulator-wide
+/// AdversarialTransport rate for that behavior.
+struct EdgeAdversary {
+  bool has_duplicate = false;
+  double duplicate_prob = 0.0;
+  int duplicate_copies = 1;
+  bool has_corrupt = false;
+  double corrupt_prob = 0.0;
+  bool has_delay = false;
+  double delay_prob = 0.0;
+  int delay_epochs = 1;
+
+  bool any() const { return has_duplicate || has_corrupt || has_delay; }
 };
 
 /// Materialized fault state the NetworkSimulator consults per message.
@@ -104,6 +171,18 @@ class FaultInjector {
     }
     return base;
   }
+  /// The scripted adversarial overrides armed on the edge (all-off when
+  /// no kDuplicate/kCorrupt/kDelay event touched it).
+  const EdgeAdversary& adversary(int child_edge) const {
+    static const EdgeAdversary kNone;
+    if (adversary_.empty() || child_edge < 0 ||
+        child_edge >= static_cast<int>(adversary_.size())) {
+      return kNone;
+    }
+    return adversary_[child_edge];
+  }
+  /// True when any edge currently has an armed adversarial override.
+  bool any_adversary() const { return num_adversarial_ > 0; }
 
   int num_dead() const { return num_dead_; }
 
@@ -124,7 +203,9 @@ class FaultInjector {
   std::vector<char> cut_;
   std::vector<char> has_override_;
   std::vector<double> prob_override_;
+  std::vector<EdgeAdversary> adversary_;
   int num_dead_ = 0;
+  int num_adversarial_ = 0;
 };
 
 }  // namespace net

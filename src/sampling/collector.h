@@ -100,9 +100,12 @@ class SampleCollector {
       }
       int carrying = 1;  // own reading
       for (int c : topo.children(u)) carrying += bundle[c];
+      // Corrupted or adversarially deferred bundles count as losses: a
+      // sweep records only what arrives intact this epoch (nothing
+      // listens for a sweep bundle in a later one).
       const net::DeliveryResult up = sim->TryUnicast(u, carrying);
       report.energy_mj += up.energy_mj;
-      if (up.delivered) {
+      if (up.arrived_now()) {
         report.edge_delivered[u] = 1;
         bundle[u] = carrying;
       } else {

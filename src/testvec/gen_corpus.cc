@@ -21,8 +21,10 @@
 #include "src/lp/kkt.h"
 #include "src/lp/simplex.h"
 #include "src/lp/vector_emit.h"
+#include "src/net/fault_injector.h"
 #include "src/net/simulator.h"
 #include "src/net/topology.h"
+#include "src/testvec/chaos.h"
 #include "src/testvec/replay.h"
 #include "src/testvec/testvec.h"
 
@@ -586,6 +588,137 @@ Json SuperplanFile() {
   return doc;
 }
 
+// --------------------------------------------------------------------------
+// fault_schedule vectors
+
+/// One step of a scripted injector timeline: either an AdvanceTo or a
+/// Remap (when `remap` is non-empty).
+struct TimelineStep {
+  int advance_to = -1;
+  std::vector<int> remap;
+  int remap_num_nodes = 0;
+};
+
+/// Builds a timeline case by driving a live FaultInjector through the
+/// steps and recording its materialized state after each one — the
+/// snapshots freeze today's fault semantics the same way wire_hex freezes
+/// today's encoder bytes.
+Json TimelineCase(const std::string& name, int num_nodes,
+                  const net::FaultSchedule& schedule,
+                  const std::vector<TimelineStep>& steps) {
+  Json c = Json::Object();
+  c.Set("name", name);
+  c.Set("kind", "timeline");
+  c.Set("num_nodes", num_nodes);
+  c.Set("schedule", FaultScheduleToJson(schedule));
+  net::FaultInjector injector(num_nodes, schedule);
+  Json jsteps = Json::Array();
+  for (const TimelineStep& step : steps) {
+    Json js = Json::Object();
+    if (!step.remap.empty()) {
+      Json jr = Json::Array();
+      for (const int id : step.remap) jr.Append(id);
+      js.Set("remap", std::move(jr));
+      js.Set("num_nodes", step.remap_num_nodes);
+      injector.Remap(step.remap, step.remap_num_nodes);
+    } else {
+      js.Set("advance_to", step.advance_to);
+      injector.AdvanceTo(step.advance_to);
+    }
+    js.Set("state", InjectorStateToJson(injector));
+    jsteps.Append(std::move(js));
+  }
+  c.Set("steps", std::move(jsteps));
+  return c;
+}
+
+Json FaultScheduleFile() {
+  Json doc = Json::Object();
+  doc.Set("module", "fault_schedule");
+  doc.Set("description",
+          "Scripted fault timelines with golden injector-state snapshots "
+          "after every advance/remap step, plus a chaos-replay config: "
+          "replay drives a live FaultInjector (and the chaos harness) and "
+          "compares materialized state textually.");
+  Json cases = Json::Array();
+
+  {
+    // Lifecycle basics, root pinned: the epoch-4 kill names the root and
+    // must leave it alive.
+    net::FaultSchedule s;
+    s.KillNode(1, 2).KillNode(2, 4).ReviveNode(3, 2).KillNode(4, 0);
+    cases.Append(TimelineCase("kill_revive_root_pinned", 5, s,
+                              {{1, {}, 0}, {2, {}, 0}, {3, {}, 0}, {4, {}, 0}}));
+  }
+  {
+    // Link-quality overrides and partitions arm and clear independently.
+    net::FaultSchedule s;
+    s.DegradeEdge(1, 3, 0.65)
+        .PartitionSubtree(2, 1)
+        .RestoreEdge(3, 3)
+        .HealSubtree(4, 1);
+    cases.Append(TimelineCase("degrade_partition_then_heal", 5, s,
+                              {{1, {}, 0}, {2, {}, 0}, {3, {}, 0}, {4, {}, 0}}));
+  }
+  {
+    // Adversarial knobs arm per edge and disarm at probability zero; a
+    // sub-1 param clamps (delay of at least one epoch).
+    net::FaultSchedule s;
+    s.DuplicateEdge(1, 2, 0.5, 3)
+        .CorruptEdge(1, 2, 0.25)
+        .DelayEdge(1, 3, 0.75, 0)
+        .DuplicateEdge(2, 2, 0.0)
+        .CorruptEdge(3, 2, 0.0)
+        .DelayEdge(3, 3, 0.0);
+    cases.Append(TimelineCase("adversarial_arm_and_disarm", 4, s,
+                              {{1, {}, 0}, {2, {}, 0}, {3, {}, 0}}));
+  }
+  {
+    // Two consecutive rebuilds: live state and pending events follow the
+    // survivors; events naming removed nodes drop for good.
+    net::FaultSchedule s;
+    s.KillNode(0, 4)
+        .DegradeEdge(0, 3, 0.7)
+        .DelayEdge(0, 5, 1.0, 2)
+        .KillNode(5, 2)
+        .CorruptEdge(6, 3, 0.9)
+        .DuplicateEdge(8, 1, 1.0, 2);
+    cases.Append(TimelineCase("remap_across_two_rebuilds", 6, s,
+                              {{0, {}, 0},
+                               {-1, {0, 1, -1, 2, 3, 4}, 5},
+                               {5, {}, 0},
+                               {6, {}, 0},
+                               {-1, {0, 1, 2, 3, -1}, 4},
+                               {8, {}, 0}}));
+  }
+  {
+    // The clock is idempotent: re-advancing to the current epoch (or an
+    // earlier one) replays nothing — both snapshots must be identical.
+    net::FaultSchedule s;
+    s.KillNode(2, 1).ReviveNode(4, 1);
+    cases.Append(TimelineCase("advance_to_is_idempotent", 3, s,
+                              {{2, {}, 0}, {2, {}, 0}, {1, {}, 0}, {4, {}, 0}}));
+  }
+  {
+    // One small end-to-end chaos run, frozen: replay re-runs the config
+    // and fails if any soak invariant violation appears.
+    ChaosConfig config;
+    config.seed = 7;
+    config.num_nodes = 16;
+    config.epochs = 24;
+    config.num_queries = 2;
+    const ChaosReport report = RunChaos(config);
+    if (!report.ok()) {
+      Die("chaos corpus config violated invariants: " +
+          report.violations.front());
+    }
+    cases.Append(ChaosArtifact(report).at("cases")[0]);
+  }
+
+  doc.Set("cases", std::move(cases));
+  return doc;
+}
+
 core::QueryPlan PlanFromJsonForGen(const Json& pj, const net::Topology& topo) {
   const Json* kind = pj.Find("kind");
   if (kind != nullptr && kind->is_string() &&
@@ -637,6 +770,7 @@ int Main(int argc, char** argv) {
   WriteVectorFile(dir, "plan_wire_errors.json", PlanWireErrorFile());
   WriteVectorFile(dir, "lp_optima.json", LpFile());
   WriteVectorFile(dir, "superplan_merge.json", SuperplanFile());
+  WriteVectorFile(dir, "fault_schedules.json", FaultScheduleFile());
 
   ReplayStats total;
   if (const Status st = ReplayCorpus(dir, &total); !st.ok()) {

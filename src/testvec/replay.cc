@@ -10,8 +10,10 @@
 #include "src/lp/kkt.h"
 #include "src/lp/simplex.h"
 #include "src/lp/vector_emit.h"
+#include "src/net/fault_injector.h"
 #include "src/net/simulator.h"
 #include "src/net/topology.h"
+#include "src/testvec/chaos.h"
 
 namespace prospector {
 namespace testvec {
@@ -363,6 +365,71 @@ Status ReplaySuperplanCase(const Json& c) {
   return Status::OK();
 }
 
+Status ReplayFaultScheduleCase(const Json& c) {
+  const std::string& kind = c.at("kind").str();
+  if (kind == "chaos_replay") {
+    // A persisted chaos artifact: re-run the config and fail if any
+    // invariant violation reproduces — one-command repro of a CI soak
+    // failure.
+    auto config = ChaosConfigFromJson(c.at("config"));
+    if (!config.ok()) return config.status();
+    const ChaosReport report = RunChaos(*config);
+    if (c.contains("schedule")) {
+      // Integrity: the schedule the config regenerates must match the
+      // recorded one, or the artifact no longer reproduces what it saw.
+      if (FaultScheduleToJson(report.schedule).Dump(-1) !=
+          c.at("schedule").Dump(-1)) {
+        return CaseError(
+            "regenerated schedule differs from the recorded one "
+            "(schedule generator drifted)");
+      }
+    }
+    if (!report.ok()) {
+      std::string all = "chaos run violated invariants:";
+      for (const std::string& v : report.violations) all += "\n    " + v;
+      return CaseError(all);
+    }
+    return Status::OK();
+  }
+  if (kind != "timeline") {
+    return CaseError("unknown fault_schedule case kind '" + kind + "'");
+  }
+
+  // A scripted timeline: drive a FaultInjector through advance/remap
+  // steps and compare the materialized state against the stored golden
+  // snapshots.
+  auto schedule = FaultScheduleFromJson(c.at("schedule"));
+  if (!schedule.ok()) return schedule.status();
+  if (!c.at("num_nodes").is_number()) {
+    return CaseError("timeline case lacks num_nodes");
+  }
+  net::FaultInjector injector(c.at("num_nodes").AsInt(), *schedule);
+  const Json& steps = c.at("steps");
+  if (!steps.is_array() || steps.size() == 0) {
+    return CaseError("timeline case lacks steps");
+  }
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const Json& step = steps[i];
+    const std::string tag = "step " + std::to_string(i);
+    if (step.contains("remap")) {
+      auto new_id = IntArray(step.at("remap"), "remap");
+      if (!new_id.ok()) return new_id.status();
+      injector.Remap(*new_id, step.at("num_nodes").AsInt());
+    } else if (step.contains("advance_to")) {
+      injector.AdvanceTo(step.at("advance_to").AsInt());
+    } else {
+      return CaseError(tag + ": step has neither advance_to nor remap");
+    }
+    const std::string got = InjectorStateToJson(injector).Dump(-1);
+    const std::string want = step.at("state").Dump(-1);
+    if (got != want) {
+      return CaseError(tag + ": injector state " + got +
+                       " != golden state " + want);
+    }
+  }
+  return Status::OK();
+}
+
 Status ReplayVectorFile(const std::string& path, ReplayStats* stats) {
   auto doc = LoadVectorFile(path);
   if (!doc.ok()) return doc.status();
@@ -377,6 +444,8 @@ Status ReplayVectorFile(const std::string& path, ReplayStats* stats) {
       st = ReplayLpCase(c);
     } else if (module == "superplan") {
       st = ReplaySuperplanCase(c);
+    } else if (module == "fault_schedule") {
+      st = ReplayFaultScheduleCase(c);
     } else {
       st = CaseError("unknown module '" + module + "'");
     }

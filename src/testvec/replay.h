@@ -39,6 +39,15 @@ namespace testvec {
 ///                           demuxed per-query answers must equal the
 ///                           vector's — which the generator certified
 ///                           bit-identical to standalone execution.
+///   fault_schedule/timeline:     num_nodes + schedule + steps; each step
+///                           advances the injector's clock (or remaps it
+///                           across a rebuild) and compares the
+///                           materialized fault state against a golden
+///                           snapshot.
+///   fault_schedule/chaos_replay: config (+ schedule, violations); the
+///                           chaos harness re-runs the config and fails
+///                           if any soak invariant violation reproduces —
+///                           the persisted form of a failing schedule.
 
 /// Serializes a subplan for the corpus / parses one back.
 Json SubplanToJson(const core::Subplan& subplan);
@@ -48,6 +57,7 @@ Result<core::Subplan> SubplanFromJson(const Json& j);
 Status ReplayPlanWireCase(const Json& c);
 Status ReplayLpCase(const Json& c);
 Status ReplaySuperplanCase(const Json& c);
+Status ReplayFaultScheduleCase(const Json& c);
 
 /// Totals from a corpus replay.
 struct ReplayStats {

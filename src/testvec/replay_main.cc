@@ -1,0 +1,36 @@
+// Replays golden vector files against the live implementation.
+//
+//   testvec_replay [file-or-dir ...]     (default: spec/test-vectors)
+//
+// Exits non-zero on the first violated expectation, naming the file,
+// case, and expectation. Point it at a chaos-soak violation artifact
+// (chaos_violation_seedN.json) for a one-command repro of a CI failure.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/testvec/replay.h"
+#include "src/util/status.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) targets.emplace_back(argv[i]);
+  if (targets.empty()) targets.emplace_back("spec/test-vectors");
+
+  prospector::testvec::ReplayStats stats;
+  for (const std::string& target : targets) {
+    std::error_code ec;
+    const bool is_dir = std::filesystem::is_directory(target, ec);
+    const prospector::Status st =
+        is_dir ? prospector::testvec::ReplayCorpus(target, &stats)
+               : prospector::testvec::ReplayVectorFile(target, &stats);
+    if (!st.ok()) {
+      std::fprintf(stderr, "testvec_replay: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("ok: %d files, %d cases\n", stats.files, stats.cases);
+  return 0;
+}

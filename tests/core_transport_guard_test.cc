@@ -1,0 +1,282 @@
+#include "src/core/transport_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/core/plan.h"
+#include "src/net/energy_model.h"
+#include "src/net/fault_injector.h"
+#include "src/net/simulator.h"
+#include "src/net/topology.h"
+
+namespace prospector {
+namespace core {
+namespace {
+
+net::DeliveryResult CleanDelivery(int copies = 1) {
+  net::DeliveryResult d;
+  d.delivered = true;
+  d.delivered_copies = copies;
+  return d;
+}
+
+// --- Header stamping ----------------------------------------------------
+
+TEST(TransportGuardTest, StampsMonotonicPerEdgeSequences) {
+  TransportGuard guard(true);
+  guard.StartEpoch(3);
+  const FencedHeader a1 = guard.Stamp(1);
+  const FencedHeader a2 = guard.Stamp(1);
+  const FencedHeader b1 = guard.Stamp(2);
+  EXPECT_EQ(a1.seq, 1u);
+  EXPECT_EQ(a2.seq, 2u);
+  EXPECT_EQ(b1.seq, 1u);  // per-edge counters are independent
+  EXPECT_EQ(a1.send_epoch, 3);
+  EXPECT_EQ(a1.plan_epoch, 0);
+}
+
+TEST(TransportGuardTest, HeaderBytesChargedOnlyWhenFencing) {
+  EXPECT_EQ(TransportGuard(true).header_bytes(), TransportGuard::kHeaderBytes);
+  EXPECT_EQ(TransportGuard(false).header_bytes(), 0);
+}
+
+// --- Duplicate suppression ----------------------------------------------
+
+TEST(TransportGuardTest, FencedFoldsEachSequenceExactlyOnce) {
+  TransportGuard guard(true);
+  const FencedHeader h = guard.Stamp(1);
+  EXPECT_EQ(guard.AdmitCopies(CleanDelivery(3), h, 1), 1);
+  EXPECT_EQ(guard.counters().duplicates_dropped, 2);
+  // A replay of an already-folded sequence number is suppressed outright.
+  EXPECT_EQ(guard.AdmitCopies(CleanDelivery(1), h, 1), 0);
+  EXPECT_EQ(guard.counters().duplicates_dropped, 3);
+  EXPECT_EQ(guard.counters().duplicates_folded, 0);
+}
+
+TEST(TransportGuardTest, NaiveModeFoldsEveryCopy) {
+  TransportGuard guard(false);
+  const FencedHeader h = guard.Stamp(1);
+  EXPECT_EQ(guard.AdmitCopies(CleanDelivery(3), h, 1), 3);
+  EXPECT_EQ(guard.counters().duplicates_folded, 2);
+  EXPECT_EQ(guard.counters().duplicates_dropped, 0);
+}
+
+// --- Integrity and staleness --------------------------------------------
+
+TEST(TransportGuardTest, CorruptPayloadRejectedInBothModes) {
+  for (const bool fencing : {true, false}) {
+    TransportGuard guard(fencing);
+    net::DeliveryResult d = CleanDelivery(0);
+    d.corrupted = true;
+    EXPECT_EQ(guard.AdmitCopies(d, guard.Stamp(1), 1), 0) << fencing;
+    EXPECT_EQ(guard.counters().corrupt_rejected, 1) << fencing;
+  }
+}
+
+TEST(TransportGuardTest, StaleEpochAndStalePlanAreRefused) {
+  TransportGuard guard(true);
+  guard.StartEpoch(5);
+  const FencedHeader old_epoch = guard.Stamp(1);
+  guard.StartEpoch(6);  // the message is now one epoch old
+  EXPECT_EQ(guard.AdmitCopies(CleanDelivery(), old_epoch, 1), 0);
+  EXPECT_EQ(guard.counters().stale_fenced, 1);
+
+  const FencedHeader old_plan = guard.Stamp(1);
+  guard.BumpPlanEpoch();  // replan: in-flight stamps carry the old plan
+  EXPECT_EQ(guard.AdmitCopies(CleanDelivery(), old_plan, 1), 0);
+  EXPECT_EQ(guard.counters().stale_fenced, 2);
+}
+
+// --- Deferred delivery --------------------------------------------------
+
+TEST(TransportGuardTest, FencingDestroysDeferredMessagesOnArrival) {
+  TransportGuard guard(true);
+  guard.StartEpoch(1);
+  DelayedMessage m;
+  m.channel = GuardChannel::kCollect;
+  m.child_edge = 2;
+  m.arrival_epoch = 3;
+  m.header = guard.Stamp(2);
+  m.flows = {{Reading{2, 0.5}}};
+  guard.Defer(m);
+  EXPECT_EQ(guard.counters().deferred, 1);
+  EXPECT_EQ(guard.pending(), 1);
+  // Not due yet; and neither other channels nor other edges see it.
+  EXPECT_TRUE(guard.DrainArrivals(GuardChannel::kCollect, 2).empty());
+  guard.StartEpoch(3);
+  EXPECT_TRUE(guard.DrainArrivals(GuardChannel::kProof, 2).empty());
+  EXPECT_TRUE(guard.DrainArrivals(GuardChannel::kCollect, 1).empty());
+  EXPECT_EQ(guard.pending(), 1);
+  // Due on the right channel+edge: a delayed message is stale by
+  // construction, so the fence destroys it.
+  EXPECT_TRUE(guard.DrainArrivals(GuardChannel::kCollect, 2).empty());
+  EXPECT_EQ(guard.counters().stale_fenced, 1);
+  EXPECT_EQ(guard.pending(), 0);
+}
+
+TEST(TransportGuardTest, NaiveModeHandsBackDeferredMessages) {
+  TransportGuard guard(false);
+  guard.StartEpoch(1);
+  DelayedMessage m;
+  m.channel = GuardChannel::kCollect;
+  m.child_edge = 4;
+  m.arrival_epoch = 2;
+  m.flows = {{Reading{4, 1.25}}};
+  guard.Defer(std::move(m));
+  guard.StartEpoch(2);
+  std::vector<DelayedMessage> due =
+      guard.DrainArrivals(GuardChannel::kCollect, 4);
+  ASSERT_EQ(due.size(), 1u);
+  ASSERT_EQ(due[0].flows.size(), 1u);
+  EXPECT_EQ(due[0].flows[0][0].node, 4);
+  EXPECT_EQ(guard.counters().stale_folded, 1);
+}
+
+TEST(TransportGuardTest, ClearDropsInFlightStateOnRebuild) {
+  TransportGuard guard(true);
+  guard.StartEpoch(1);
+  (void)guard.Stamp(1);
+  DelayedMessage m;
+  m.child_edge = 1;
+  m.arrival_epoch = 2;
+  guard.Defer(m);
+  guard.Clear();
+  EXPECT_EQ(guard.pending(), 0);
+  // Sequence counters restart: the new tree's edge ids mean new edges.
+  EXPECT_EQ(guard.Stamp(1).seq, 1u);
+}
+
+// --- Executor integration over a scripted adversary ---------------------
+
+/// Chain 0-1-2-3, full-bandwidth top-4 plan: every reading can reach the
+/// root, so the clean answer is the whole network best-first.
+struct ChainFixture {
+  net::Topology topo = net::BuildChain(4);
+  std::vector<double> truth = {0.1, 0.9, 0.5, 0.7};
+  QueryPlan plan = QueryPlan::Bandwidth(4, {0, 3, 2, 1});
+
+  ExecutionResult Run(net::NetworkSimulator* sim, TransportGuard* guard) {
+    return CollectionExecutor::Execute(plan, truth, sim, true, guard);
+  }
+};
+
+TEST(GuardedExecutorTest, FencedGuardWithoutAdversaryOnlyAddsHeaderBytes) {
+  ChainFixture fx;
+  net::NetworkSimulator plain_sim(&fx.topo, net::EnergyModel{});
+  const ExecutionResult plain = fx.Run(&plain_sim, nullptr);
+
+  net::NetworkSimulator guarded_sim(&fx.topo, net::EnergyModel{});
+  TransportGuard guard(true);
+  const ExecutionResult guarded = fx.Run(&guarded_sim, &guard);
+
+  EXPECT_TRUE(guarded.answer == plain.answer);
+  EXPECT_FALSE(guarded.degraded);
+  // Three unicasts (edges 3, 2, 1), each paying one fenced header.
+  const net::EnergyModel e;
+  EXPECT_NEAR(guarded.collection_energy_mj,
+              plain.collection_energy_mj +
+                  3 * TransportGuard::kHeaderBytes * e.per_byte_mj,
+              1e-12);
+  EXPECT_DOUBLE_EQ(guarded.trigger_energy_mj, plain.trigger_energy_mj);
+}
+
+TEST(GuardedExecutorTest, ScriptedDuplicationIsTransparentUnderFencing) {
+  ChainFixture fx;
+  net::NetworkSimulator plain_sim(&fx.topo, net::EnergyModel{});
+  TransportGuard plain_guard(true);
+  const ExecutionResult plain = fx.Run(&plain_sim, &plain_guard);
+
+  net::FaultSchedule schedule;
+  schedule.DuplicateEdge(0, 2, 1.0, 2);
+  net::FaultInjector injector(4, schedule);
+  injector.AdvanceTo(0);
+  net::NetworkSimulator sim(&fx.topo, net::EnergyModel{});
+  sim.set_fault_injector(&injector);
+  TransportGuard guard(true);
+  const ExecutionResult dup = fx.Run(&sim, &guard);
+
+  // One message crosses edge 2; its two extra copies fold zero times.
+  EXPECT_TRUE(dup.answer == plain.answer);
+  EXPECT_FALSE(dup.degraded);
+  EXPECT_EQ(guard.counters().duplicates_dropped, 2);
+  EXPECT_EQ(sim.stats().duplicates, 2);
+  // The sender paid for the retransmissions even though the receiver
+  // suppressed them.
+  EXPECT_GT(dup.collection_energy_mj, plain.collection_energy_mj);
+}
+
+TEST(GuardedExecutorTest, ScriptedCorruptionDegradesLikeALoss) {
+  ChainFixture fx;
+  net::FaultSchedule schedule;
+  schedule.CorruptEdge(0, 2, 1.0);
+  net::FaultInjector injector(4, schedule);
+  injector.AdvanceTo(0);
+  net::NetworkSimulator sim(&fx.topo, net::EnergyModel{});
+  sim.set_fault_injector(&injector);
+  TransportGuard guard(true);
+  const ExecutionResult result = fx.Run(&sim, &guard);
+
+  // Node 2's two-value bundle is mangled in flight: the subtree below
+  // edge 2 vanishes from the answer and the run says so.
+  EXPECT_TRUE(result.degraded);
+  EXPECT_GE(result.values_lost, 2);
+  EXPECT_EQ(guard.counters().corrupt_rejected, 1);
+  EXPECT_EQ(sim.stats().corrupted, 1);
+  ASSERT_EQ(result.answer.size(), 2u);
+  EXPECT_EQ(result.answer[0].node, 1);
+  EXPECT_EQ(result.answer[1].node, 0);
+}
+
+TEST(GuardedExecutorTest, DelayedMessageIsFencedOnItsLateArrival) {
+  ChainFixture fx;
+  net::FaultSchedule schedule;
+  schedule.DelayEdge(0, 2, 1.0, 1);
+  net::FaultInjector injector(4, schedule);
+  injector.AdvanceTo(0);
+  net::NetworkSimulator sim(&fx.topo, net::EnergyModel{});
+  sim.set_fault_injector(&injector);
+  TransportGuard guard(true);
+
+  const ExecutionResult first = fx.Run(&sim, &guard);
+  EXPECT_TRUE(first.degraded);
+  EXPECT_EQ(first.messages_deferred, 1);
+  EXPECT_EQ(guard.counters().deferred, 1);
+  EXPECT_EQ(guard.pending(), 1);
+  ASSERT_EQ(first.answer.size(), 2u);
+  EXPECT_EQ(first.answer[0].node, 1);
+
+  // Next epoch the parked message lands — one epoch stale, so the fence
+  // refuses it and the answer never contains last epoch's readings.
+  sim.set_epoch(1);
+  guard.StartEpoch(1);
+  const ExecutionResult second = fx.Run(&sim, &guard);
+  EXPECT_EQ(guard.counters().stale_fenced, 1);
+  ASSERT_EQ(second.answer.size(), 2u);
+  EXPECT_EQ(second.answer[0].node, 1);
+}
+
+TEST(GuardedExecutorTest, NaiveProtocolFoldsTheStaleArrival) {
+  ChainFixture fx;
+  net::FaultSchedule schedule;
+  schedule.DelayEdge(0, 2, 1.0, 1);
+  net::FaultInjector injector(4, schedule);
+  injector.AdvanceTo(0);
+  net::NetworkSimulator sim(&fx.topo, net::EnergyModel{});
+  sim.set_fault_injector(&injector);
+  TransportGuard guard(false);
+
+  (void)fx.Run(&sim, &guard);
+  sim.set_epoch(1);
+  guard.StartEpoch(1);
+  const ExecutionResult second = fx.Run(&sim, &guard);
+  // The broken protocol folds the deferred epoch-0 bundle as if it were
+  // fresh — exactly the damage the chaos soak's naive arm must surface.
+  EXPECT_EQ(guard.counters().stale_folded, 1);
+  EXPECT_GT(second.answer.size(), 2u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace prospector

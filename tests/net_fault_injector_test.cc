@@ -102,6 +102,117 @@ TEST(FaultInjectorTest, RemapFollowsSurvivorsAndDropsRemovedNodes) {
   EXPECT_EQ(injector.num_dead(), 1);
 }
 
+TEST(FaultInjectorTest, AdversarialKnobsArmIndependentlyAndDisarmAtZero) {
+  FaultSchedule schedule;
+  schedule.DuplicateEdge(1, 2, 0.5, 3)
+      .CorruptEdge(1, 2, 0.25)
+      .DelayEdge(1, 2, 0.75, 0)  // param below 1 clamps to 1
+      .DuplicateEdge(2, 2, 0.0)  // probability 0 disarms one knob...
+      .CorruptEdge(3, 2, 0.0)
+      .DelayEdge(3, 2, 0.0);  // ...and eventually the whole edge
+  FaultInjector injector(4, schedule);
+
+  injector.AdvanceTo(1);
+  const EdgeAdversary& armed = injector.adversary(2);
+  EXPECT_TRUE(armed.has_duplicate);
+  EXPECT_DOUBLE_EQ(armed.duplicate_prob, 0.5);
+  EXPECT_EQ(armed.duplicate_copies, 3);
+  EXPECT_TRUE(armed.has_corrupt);
+  EXPECT_DOUBLE_EQ(armed.corrupt_prob, 0.25);
+  EXPECT_TRUE(armed.has_delay);
+  EXPECT_EQ(armed.delay_epochs, 1);
+  EXPECT_TRUE(injector.any_adversary());
+
+  injector.AdvanceTo(2);
+  EXPECT_FALSE(injector.adversary(2).has_duplicate);
+  EXPECT_TRUE(injector.adversary(2).has_corrupt);
+  EXPECT_TRUE(injector.any_adversary());
+
+  injector.AdvanceTo(3);
+  EXPECT_FALSE(injector.adversary(2).any());
+  EXPECT_FALSE(injector.any_adversary());
+}
+
+TEST(FaultInjectorTest, AdvanceToNeverReappliesAnEvent) {
+  // A kill/revive/kill sequence would miscount if the cursor replayed.
+  FaultSchedule schedule;
+  schedule.KillNode(2, 1).ReviveNode(4, 1).KillNode(6, 1);
+  FaultInjector injector(3, schedule);
+  injector.AdvanceTo(2);
+  EXPECT_EQ(injector.num_dead(), 1);
+  injector.AdvanceTo(2);  // same clock: nothing replays
+  EXPECT_EQ(injector.num_dead(), 1);
+  injector.AdvanceTo(1);  // clocks never run backwards
+  EXPECT_EQ(injector.epoch(), 2);
+  injector.AdvanceTo(4);
+  EXPECT_EQ(injector.num_dead(), 0);
+
+  // A rebuild resets the event cursor; already-applied events must be
+  // gone for good, not replayed against the new ids.
+  injector.Remap({0, 1, 2}, 3);
+  injector.AdvanceTo(5);
+  EXPECT_EQ(injector.num_dead(), 0);  // the epoch-2 kill does not re-fire
+  injector.AdvanceTo(6);
+  EXPECT_EQ(injector.num_dead(), 1);  // the pending epoch-6 kill still does
+}
+
+TEST(FaultInjectorTest, StateAndPendingEventsSurviveTwoConsecutiveRebuilds) {
+  FaultSchedule schedule;
+  schedule.KillNode(0, 4)
+      .DegradeEdge(0, 3, 0.7)
+      .DelayEdge(0, 5, 1.0, 2)
+      .KillNode(5, 2)  // its node is removed first: the event must drop
+      .CorruptEdge(6, 3, 0.9)
+      .DuplicateEdge(8, 1, 1.0, 2);  // must survive both rebuilds
+  FaultInjector injector(6, schedule);
+  injector.AdvanceTo(0);
+  EXPECT_FALSE(injector.node_alive(4));
+  EXPECT_DOUBLE_EQ(injector.EdgeProbability(3, 0.1), 0.7);
+  EXPECT_TRUE(injector.adversary(5).has_delay);
+
+  // First rebuild removes node 2; survivors compact downwards.
+  injector.Remap({0, 1, -1, 2, 3, 4}, 5);
+  EXPECT_EQ(injector.num_dead(), 1);
+  EXPECT_FALSE(injector.node_alive(3));                  // old node 4
+  EXPECT_DOUBLE_EQ(injector.EdgeProbability(2, 0.1), 0.7);  // old node 3
+  EXPECT_TRUE(injector.adversary(4).has_delay);          // old node 5
+  EXPECT_EQ(injector.adversary(4).delay_epochs, 2);
+
+  // The removed node's pending kill must not fire on its recycled id.
+  injector.AdvanceTo(5);
+  EXPECT_EQ(injector.num_dead(), 1);
+  EXPECT_TRUE(injector.node_alive(2));
+
+  injector.AdvanceTo(6);  // corruption arms on the survivor's new id
+  EXPECT_TRUE(injector.adversary(2).has_corrupt);
+  EXPECT_DOUBLE_EQ(injector.adversary(2).corrupt_prob, 0.9);
+
+  // Second rebuild removes the delay-armed edge (old node 5, now id 4).
+  injector.Remap({0, 1, 2, 3, -1}, 4);
+  EXPECT_EQ(injector.num_nodes(), 4);
+  EXPECT_EQ(injector.num_dead(), 1);
+  EXPECT_FALSE(injector.node_alive(3));
+  EXPECT_TRUE(injector.adversary(2).has_corrupt);
+  EXPECT_DOUBLE_EQ(injector.EdgeProbability(2, 0.1), 0.7);
+  EXPECT_TRUE(injector.any_adversary());
+
+  // The duplication event followed node 1 through both rebuilds.
+  injector.AdvanceTo(8);
+  EXPECT_TRUE(injector.adversary(1).has_duplicate);
+  EXPECT_EQ(injector.adversary(1).duplicate_copies, 2);
+}
+
+TEST(FaultInjectorTest, RemapFollowsTheRootAndKeepsItPinned) {
+  // The root moves to a new id during a rebuild; a pending kill that now
+  // names the relocated root must still be ignored.
+  FaultInjector injector(2, FaultSchedule{}.KillNode(3, 0));
+  injector.AdvanceTo(0);
+  injector.Remap({1, 0}, 2);
+  injector.AdvanceTo(3);
+  EXPECT_TRUE(injector.node_alive(1));  // the root, under its new id
+  EXPECT_EQ(injector.num_dead(), 0);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace prospector

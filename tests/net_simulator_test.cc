@@ -243,6 +243,145 @@ TEST(SimulatorDeathTest, RejectsPartialFailureVectorAtConstruction) {
                "FailureModel covers");
 }
 
+TEST(SimulatorDeathTest, RejectsInvalidLossyTransportAtSetTime) {
+  Topology topo = BuildChain(2);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  LossyTransport negative_retries;
+  negative_retries.enabled = true;
+  negative_retries.max_retries = -1;
+  EXPECT_DEATH(sim.set_lossy_transport(negative_retries), "max_retries");
+  LossyTransport shrinking_backoff;
+  shrinking_backoff.enabled = true;
+  shrinking_backoff.backoff_cost_growth = 0.5;
+  EXPECT_DEATH(sim.set_lossy_transport(shrinking_backoff),
+               "backoff_cost_growth");
+}
+
+TEST(SimulatorDeathTest, RejectsInvalidAdversarialTransportAtSetTime) {
+  Topology topo = BuildChain(2);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  AdversarialTransport out_of_range;
+  out_of_range.enabled = true;
+  out_of_range.corrupt_prob = 1.5;
+  EXPECT_DEATH(sim.set_adversarial_transport(out_of_range), "probability");
+  AdversarialTransport zero_copies;
+  zero_copies.enabled = true;
+  zero_copies.duplicate_copies = 0;
+  EXPECT_DEATH(sim.set_adversarial_transport(zero_copies),
+               "duplicate_copies");
+  AdversarialTransport zero_delay;
+  zero_delay.enabled = true;
+  zero_delay.delay_epochs = 0;
+  EXPECT_DEATH(sim.set_adversarial_transport(zero_delay), "delay_epochs");
+  // A disabled config is never validated — defaults stay settable.
+  sim.set_adversarial_transport(AdversarialTransport{});
+}
+
+TEST(SimulatorTest, ScriptedDuplicationChargesTheSenderPerCopy) {
+  Topology topo = BuildChain(2);
+  FaultInjector injector(2, FaultSchedule{}.DuplicateEdge(0, 1, 1.0, 2));
+  injector.AdvanceTo(0);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  sim.set_fault_injector(&injector);
+  const DeliveryResult r = sim.TryUnicast(1, 3);
+  EnergyModel e;
+  EXPECT_TRUE(r.delivered);
+  EXPECT_TRUE(r.arrived_now());
+  EXPECT_EQ(r.delivered_copies, 3);
+  // A duplicate is a retransmission after a lost ACK: the sender pays
+  // the base message cost once per extra copy.
+  EXPECT_NEAR(r.energy_mj, e.MessageCost(3) * 3.0, 1e-12);
+  EXPECT_EQ(sim.stats().duplicates, 2);
+  EXPECT_EQ(sim.stats().unicast_messages, 3);
+  EXPECT_EQ(sim.stats().values_transmitted, 3);
+  EXPECT_EQ(sim.stats().drops, 0);
+}
+
+TEST(SimulatorTest, ScriptedCorruptionAccountsLikeADrop) {
+  Topology topo = BuildChain(2);
+  FaultInjector injector(2, FaultSchedule{}.CorruptEdge(0, 1, 1.0));
+  injector.AdvanceTo(0);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  sim.set_fault_injector(&injector);
+  const DeliveryResult r = sim.TryUnicast(1, 2);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_TRUE(r.corrupted);
+  EXPECT_FALSE(r.arrived_now());
+  EXPECT_EQ(r.delivered_copies, 0);
+  // The sender still paid for the transmission...
+  EXPECT_NEAR(r.energy_mj, EnergyModel{}.MessageCost(2), 1e-12);
+  // ...but the readings count as lost: the protocol layer must reject
+  // the mangled payload.
+  EXPECT_EQ(sim.stats().corrupted, 1);
+  EXPECT_EQ(sim.stats().drops, 1);
+  EXPECT_EQ(sim.stats().values_lost, 2);
+  EXPECT_EQ(sim.stats().values_transmitted, 0);
+}
+
+TEST(SimulatorTest, ScriptedDelayDefersDeliveryRelativeToTheEpochClock) {
+  Topology topo = BuildChain(2);
+  FaultInjector injector(2, FaultSchedule{}.DelayEdge(0, 1, 1.0, 3));
+  injector.AdvanceTo(0);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  sim.set_fault_injector(&injector);
+  sim.set_epoch(5);
+  const DeliveryResult r = sim.TryUnicast(1, 1);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_FALSE(r.arrived_now());
+  EXPECT_EQ(r.delayed_until_epoch, 8);
+  EXPECT_EQ(r.delivered_copies, 0);
+  EXPECT_EQ(sim.stats().delayed, 1);
+  EXPECT_EQ(sim.stats().values_lost, 1);
+  EXPECT_EQ(sim.stats().values_transmitted, 0);
+}
+
+TEST(SimulatorTest, CorruptionTakesPrecedenceOverDelayAndDuplication) {
+  Topology topo = BuildChain(2);
+  FaultInjector injector(2, FaultSchedule{}
+                                .CorruptEdge(0, 1, 1.0)
+                                .DelayEdge(0, 1, 1.0, 2)
+                                .DuplicateEdge(0, 1, 1.0, 4));
+  injector.AdvanceTo(0);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  sim.set_fault_injector(&injector);
+  const DeliveryResult r = sim.TryUnicast(1, 1);
+  EXPECT_TRUE(r.corrupted);
+  EXPECT_EQ(r.delayed_until_epoch, -1);
+  EXPECT_EQ(r.delivered_copies, 0);
+  EXPECT_EQ(sim.stats().duplicates, 0);
+  EXPECT_EQ(sim.stats().delayed, 0);
+}
+
+TEST(SimulatorTest, ConfigRateDuplicationAppliesWithoutAScript) {
+  Topology topo = BuildChain(2);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  AdversarialTransport adversarial;
+  adversarial.enabled = true;
+  adversarial.duplicate_prob = 1.0;
+  adversarial.duplicate_copies = 1;
+  sim.set_adversarial_transport(adversarial);
+  const DeliveryResult r = sim.TryUnicast(1, 1);
+  EXPECT_EQ(r.delivered_copies, 2);
+  EXPECT_EQ(sim.stats().duplicates, 1);
+  EXPECT_EQ(sim.stats().unicast_messages, 2);
+}
+
+TEST(SimulatorTest, DeadNodeBroadcastIsSuppressedAndFree) {
+  Topology topo = BuildChain(3);
+  FaultInjector injector(3, FaultSchedule{}.KillNode(0, 1));
+  injector.AdvanceTo(0);
+  NetworkSimulator sim(&topo, EnergyModel{});
+  sim.set_fault_injector(&injector);
+  // A dead node cannot key its radio: no charge, no broadcast, one drop.
+  EXPECT_DOUBLE_EQ(sim.BroadcastPayload(1, 4), 0.0);
+  EXPECT_EQ(sim.stats().broadcast_messages, 0);
+  EXPECT_EQ(sim.stats().drops, 1);
+  EXPECT_DOUBLE_EQ(sim.stats().total_energy_mj, 0.0);
+  // Its live sibling still broadcasts normally.
+  EXPECT_GT(sim.BroadcastPayload(2, 0), 0.0);
+  EXPECT_EQ(sim.stats().broadcast_messages, 1);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace prospector

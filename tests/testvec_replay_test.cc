@@ -45,8 +45,8 @@ TEST(CorpusReplayTest, EntireCorpusReplaysByteExact) {
   EXPECT_TRUE(st.ok()) << st.ToString();
   // The corpus is substantial by construction; a shrunk or missing corpus
   // must fail here rather than "pass" vacuously.
-  EXPECT_GE(stats.files, 6);
-  EXPECT_GE(stats.cases, 80);
+  EXPECT_GE(stats.files, 7);
+  EXPECT_GE(stats.cases, 85);
 }
 
 TEST(CorpusReplayTest, BugVectorsAresPresent) {
@@ -145,6 +145,37 @@ TEST(TamperTest, WrongDemuxAnswerFailsReplay) {
   const Status st = ReplaySuperplanCase(c);
   EXPECT_FALSE(st.ok());
   EXPECT_NE(st.message().find("demux"), std::string::npos);
+}
+
+TEST(TamperTest, ForgedInjectorStateFailsReplay) {
+  Json c = LoadCase("fault_schedules.json", "remap_across_two_rebuilds");
+  ASSERT_TRUE(c.is_object());
+  EXPECT_TRUE(ReplayFaultScheduleCase(c).ok());
+  // Forge the golden snapshot after the first rebuild: the live injector
+  // cannot reproduce the edited dead-count.
+  Json& steps = *c.Find("steps");
+  ASSERT_TRUE(steps.is_array());
+  ASSERT_GT(steps.size(), 1u);
+  Json& state = *steps[1].Find("state");
+  state.Set("num_dead", state.at("num_dead").AsInt() + 1);
+  const Status st = ReplayFaultScheduleCase(c);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("golden state"), std::string::npos);
+}
+
+TEST(TamperTest, DroppedScheduleEventFailsReplay) {
+  Json c = LoadCase("fault_schedules.json", "adversarial_arm_and_disarm");
+  ASSERT_TRUE(c.is_object());
+  // Deleting the disarm event leaves the edge armed where the snapshots
+  // say it is clean.
+  Json& schedule = *c.Find("schedule");
+  ASSERT_TRUE(schedule.is_array());
+  Json pruned = Json::Array();
+  for (size_t i = 0; i + 1 < schedule.size(); ++i) {
+    pruned.Append(schedule[i]);
+  }
+  c.Set("schedule", std::move(pruned));
+  EXPECT_FALSE(ReplayFaultScheduleCase(c).ok());
 }
 
 // --- Subplan JSON round trip ---------------------------------------------
