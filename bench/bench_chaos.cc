@@ -31,7 +31,7 @@ testvec::ChaosConfig ConfigFor(uint64_t seed, bool naive) {
 
 void Run() {
   bench::BenchJson json("chaos");
-  json.Meta("seeds", static_cast<double>(kSeeds));
+  json.Seed(1).Meta("seeds", static_cast<double>(kSeeds));
   json.Section("protocol_arms",
                {"naive", "violations", "mean_recall", "duplicates_dropped",
                 "stale_fenced", "corrupt_rejected", "deferred",

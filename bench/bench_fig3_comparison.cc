@@ -50,7 +50,7 @@ void Run(int threads) {
               "epochs)\n",
               kNodes, kTop, kSamples, query_epochs);
   bench::BenchJson json("fig3_comparison");
-  json.Meta("nodes", kNodes)
+  json.Seed(20060403).Meta("nodes", kNodes)
       .Meta("k", kTop)
       .Meta("samples", kSamples)
       .Meta("query_epochs", query_epochs)

@@ -173,7 +173,7 @@ int Run() {
       1.0 - shared_total_mj / independent_total_mj;
 
   bench::BenchJson json("multi_query");
-  json.Meta("nodes", kNodes)
+  json.Seed(20060403).Meta("nodes", kNodes)
       .Meta("queries", num_queries)
       .Meta("query_epochs", shared_query_epochs)
       .Meta("ticks", static_cast<double>(truths.size()))

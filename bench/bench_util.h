@@ -1,6 +1,7 @@
 #ifndef PROSPECTOR_BENCH_BENCH_UTIL_H_
 #define PROSPECTOR_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -96,12 +97,28 @@ inline int QueryEpochs(int default_epochs) {
 /// top-level "columns"/"rows" (the original artifact shape). Multi-table
 /// benches call Section() before each table's rows; those tables land in
 /// a "tables" array of {"title", "columns", "rows"} objects.
+///
+/// Every artifact carries provenance for `tools/bench_diff.py`:
+///   "schema_version"      bumped when the artifact layout changes;
+///   "seed"                the bench's RNG seed (0 when not seeded);
+///   "config_fingerprint"  16-hex FNV-1a over name + meta + table shape
+///                         (seed and row data excluded), so the differ
+///                         can refuse apples-to-oranges comparisons.
 class BenchJson {
  public:
+  /// Bump when the JSON layout changes incompatibly.
+  static constexpr int kSchemaVersion = 2;
+
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
 
   BenchJson& Meta(const std::string& key, double value) {
     meta_.emplace_back(key, value);
+    return *this;
+  }
+  /// Records the bench's RNG seed in the artifact (provenance only; the
+  /// fingerprint deliberately excludes it so seed sweeps stay comparable).
+  BenchJson& Seed(uint64_t seed) {
+    seed_ = seed;
     return *this;
   }
   BenchJson& Columns(std::vector<std::string> columns) {
@@ -130,7 +147,12 @@ class BenchJson {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"meta\": {");
+    std::fprintf(f, "{\n  \"schema_version\": %d,\n", kSchemaVersion);
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(seed_));
+    std::fprintf(f, "  \"config_fingerprint\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(Fingerprint()));
+    std::fprintf(f, "  \"meta\": {");
     for (size_t i = 0; i < meta_.size(); ++i) {
       std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
                    meta_[i].first.c_str(), meta_[i].second);
@@ -170,6 +192,35 @@ class BenchJson {
     std::vector<std::vector<double>> rows;
   };
 
+  /// FNV-1a over everything that defines what the bench measured (name,
+  /// meta knobs, table shape) but not what it observed (rows) or which
+  /// stream it drew (seed). Two artifacts with equal fingerprints are
+  /// run-to-run comparable.
+  uint64_t Fingerprint() const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](const std::string& s) {
+      for (const unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+      }
+      h ^= 0xffu;  // field separator: {"ab","c"} != {"a","bc"}
+      h *= 0x100000001b3ULL;
+    };
+    mix(name_);
+    char buf[32];
+    for (const auto& [key, value] : meta_) {
+      mix(key);
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      mix(buf);
+    }
+    for (const std::string& c : columns_) mix(c);
+    for (const Table& t : tables_) {
+      mix(t.title);
+      for (const std::string& c : t.columns) mix(c);
+    }
+    return h;
+  }
+
   static void WriteStrings(std::FILE* f, const std::vector<std::string>& v) {
     for (size_t i = 0; i < v.size(); ++i) {
       std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ", v[i].c_str());
@@ -188,6 +239,7 @@ class BenchJson {
   }
 
   std::string name_;
+  uint64_t seed_ = 0;
   std::vector<std::pair<std::string, double>> meta_;
   std::vector<std::string> columns_;
   std::vector<std::vector<double>> rows_;

@@ -171,6 +171,10 @@ ExecutionResult CollectionExecutor::Execute(const QueryPlan& plan,
   PROSPECTOR_COUNTER_ADD("exec.collect.values_lost", result.values_lost);
   PROSPECTOR_COUNTER_ADD("exec.collect.messages_dropped",
                          result.messages_dropped);
+  if (result.degraded) {
+    PROSPECTOR_FLIGHT(kNote, "exec.collect.degraded", -1, result.values_lost,
+                      result.messages_dropped);
+  }
   return result;
 }
 

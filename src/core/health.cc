@@ -1,0 +1,188 @@
+#include "src/core/health.h"
+
+#include <cstdio>
+#include <numeric>
+
+namespace prospector {
+namespace core {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+double WindowMean(const std::deque<double>& window, double empty_value) {
+  if (window.empty()) return empty_value;
+  const double sum = std::accumulate(window.begin(), window.end(), 0.0);
+  return sum / static_cast<double>(window.size());
+}
+
+void AppendBreach(std::string* breached, const char* name) {
+  if (!breached->empty()) breached->push_back(',');
+  breached->append(name);
+}
+
+}  // namespace
+
+const char* HealthStatusName(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kUnknown:
+      return "unknown";
+    case HealthStatus::kHealthy:
+      return "healthy";
+    case HealthStatus::kDegraded:
+      return "degraded";
+    case HealthStatus::kUnhealthy:
+      return "unhealthy";
+  }
+  return "unknown";
+}
+
+void QueryHealthTracker::PushWindow(std::deque<double>* window, double v) {
+  window->push_back(v);
+  const size_t cap = slo_.window > 0 ? static_cast<size_t>(slo_.window) : 1;
+  while (window->size() > cap) window->pop_front();
+}
+
+void QueryHealthTracker::Observe(const EpochSignals& s) {
+  const bool has_recall = s.recall >= 0.0;
+  const bool has_latency = s.replan_latency_ms >= 0.0;
+  if (has_recall) PushWindow(&recall_window_, s.recall);
+  PushWindow(&energy_window_, s.energy_mj);
+  if (has_latency) PushWindow(&latency_window_, s.replan_latency_ms);
+  PushWindow(&guard_window_, s.guard_rejects);
+
+  health_.last_recall = has_recall ? s.recall : health_.last_recall;
+  health_.mean_recall = WindowMean(recall_window_, -1.0);
+  health_.mean_energy_mj = WindowMean(energy_window_, 0.0);
+  health_.mean_replan_latency_ms = WindowMean(latency_window_, 0.0);
+  health_.mean_guard_rejects = WindowMean(guard_window_, 0.0);
+  if (s.predicted_recall >= 0.0) {
+    health_.predicted_recall = s.predicted_recall;
+  }
+  health_.recall_residual =
+      (health_.predicted_recall >= 0.0 && has_recall)
+          ? health_.predicted_recall - s.recall
+          : 0.0;
+
+  // Score each armed SLO whose signal is present this epoch.
+  std::string breached;
+  bool scored = false;
+  if (slo_.min_recall >= 0.0 && has_recall) {
+    scored = true;
+    if (s.recall < slo_.min_recall) AppendBreach(&breached, "recall");
+  }
+  if (slo_.max_energy_mj >= 0.0) {
+    scored = true;
+    if (s.energy_mj > slo_.max_energy_mj) AppendBreach(&breached, "energy");
+  }
+  if (slo_.max_replan_latency_ms >= 0.0 && has_latency) {
+    scored = true;
+    if (s.replan_latency_ms > slo_.max_replan_latency_ms) {
+      AppendBreach(&breached, "replan_latency");
+    }
+  }
+  if (slo_.max_guard_rejects >= 0.0) {
+    scored = true;
+    if (s.guard_rejects > slo_.max_guard_rejects) {
+      AppendBreach(&breached, "guard_rejects");
+    }
+  }
+  if (slo_.max_recall_residual >= 0.0 && has_recall &&
+      health_.predicted_recall >= 0.0) {
+    scored = true;
+    if (health_.recall_residual > slo_.max_recall_residual) {
+      AppendBreach(&breached, "recall_residual");
+    }
+  }
+
+  // Epochs without any scoreable signal (e.g. explore sweeps under the
+  // default recall-only SLO) leave the breach streak untouched — a sweep
+  // between two bad query epochs must not silence the alarm.
+  if (!scored) return;
+  ++health_.scored_epochs;
+  health_.breached = breached;
+  if (breached.empty()) {
+    health_.consecutive_breaches = 0;
+    health_.status = HealthStatus::kHealthy;
+  } else {
+    ++health_.consecutive_breaches;
+    health_.status = health_.consecutive_breaches >= slo_.breach_epochs
+                         ? HealthStatus::kUnhealthy
+                         : HealthStatus::kDegraded;
+  }
+}
+
+std::string HealthOpenMetricsBody(const std::vector<QueryHealth>& report) {
+  std::string out;
+  auto family = [&out](const char* name, const char* type) {
+    out += "# TYPE prospector_query_";
+    out += name;
+    out += " ";
+    out += type;
+    out += "\n";
+  };
+  auto series = [&out](const char* name, int query_id, const std::string& v) {
+    out += "prospector_query_";
+    out += name;
+    out += "{query=\"" + std::to_string(query_id) + "\"} " + v + "\n";
+  };
+  family("health", "gauge");
+  for (const QueryHealth& q : report) {
+    series("health", q.query_id,
+           std::to_string(static_cast<int>(q.status)));
+  }
+  family("recall", "gauge");
+  for (const QueryHealth& q : report) {
+    series("recall", q.query_id, FormatDouble(q.mean_recall));
+  }
+  family("energy_mj", "gauge");
+  for (const QueryHealth& q : report) {
+    series("energy_mj", q.query_id, FormatDouble(q.mean_energy_mj));
+  }
+  family("guard_rejects", "gauge");
+  for (const QueryHealth& q : report) {
+    series("guard_rejects", q.query_id, FormatDouble(q.mean_guard_rejects));
+  }
+  family("recall_residual", "gauge");
+  for (const QueryHealth& q : report) {
+    series("recall_residual", q.query_id, FormatDouble(q.recall_residual));
+  }
+  family("consecutive_breaches", "gauge");
+  for (const QueryHealth& q : report) {
+    series("consecutive_breaches", q.query_id,
+           std::to_string(q.consecutive_breaches));
+  }
+  return out;
+}
+
+std::string HealthReportJson(const std::vector<QueryHealth>& report) {
+  std::string out = "[";
+  bool first = true;
+  for (const QueryHealth& q : report) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"query\": " + std::to_string(q.query_id);
+    out += ", \"status\": \"";
+    out += HealthStatusName(q.status);
+    out += "\", \"scored_epochs\": " + std::to_string(q.scored_epochs);
+    out += ", \"consecutive_breaches\": " +
+           std::to_string(q.consecutive_breaches);
+    out += ", \"last_recall\": " + FormatDouble(q.last_recall);
+    out += ", \"mean_recall\": " + FormatDouble(q.mean_recall);
+    out += ", \"mean_energy_mj\": " + FormatDouble(q.mean_energy_mj);
+    out += ", \"mean_replan_latency_ms\": " +
+           FormatDouble(q.mean_replan_latency_ms);
+    out += ", \"mean_guard_rejects\": " + FormatDouble(q.mean_guard_rejects);
+    out += ", \"predicted_recall\": " + FormatDouble(q.predicted_recall);
+    out += ", \"recall_residual\": " + FormatDouble(q.recall_residual);
+    out += ", \"breached\": \"" + q.breached + "\"}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace core
+}  // namespace prospector

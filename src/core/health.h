@@ -1,0 +1,99 @@
+#ifndef PROSPECTOR_CORE_HEALTH_H_
+#define PROSPECTOR_CORE_HEALTH_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace prospector {
+namespace core {
+
+/// Per-query service-level objectives. A threshold of -1 disarms that
+/// check. Only signals that are both armed AND present in an epoch are
+/// scored, so e.g. explore/audit epochs (no per-query answer, hence no
+/// realized recall) neither breach nor clear a recall SLO.
+struct HealthSlo {
+  int window = 8;         ///< rolling-window length, in scored epochs
+  int breach_epochs = 2;  ///< consecutive breaching epochs => unhealthy
+  double min_recall = 0.7;            ///< realized top-k recall floor
+  double max_energy_mj = -1.0;        ///< per-epoch attributed energy cap
+  double max_replan_latency_ms = -1.0;  ///< wall-clock: armed => dumps are
+                                        ///< no longer replay-deterministic
+  double max_guard_rejects = -1.0;    ///< per-epoch guard rejection cap
+  double max_recall_residual = -1.0;  ///< predicted - realized recall cap
+};
+
+enum class HealthStatus {
+  kUnknown = 0,  ///< no scored epoch yet (bootstrap / just admitted)
+  kHealthy,
+  kDegraded,   ///< breaching, but for fewer than breach_epochs epochs
+  kUnhealthy,  ///< >= breach_epochs consecutive breaching epochs
+};
+
+const char* HealthStatusName(HealthStatus status);
+
+/// One query's current health: status plus the rolling-window aggregates
+/// that justify it. Surfaced by QueryEngine::HealthReport().
+struct QueryHealth {
+  int query_id = -1;
+  HealthStatus status = HealthStatus::kUnknown;
+  int scored_epochs = 0;        ///< epochs that carried an armed signal
+  int consecutive_breaches = 0;
+  double last_recall = -1.0;    ///< most recent realized recall (-1 = none)
+  double mean_recall = -1.0;    ///< over the window (-1 = no signal yet)
+  double mean_energy_mj = 0.0;  ///< attributed energy per epoch, windowed
+  double mean_replan_latency_ms = 0.0;  ///< over replans in the window
+  double mean_guard_rejects = 0.0;      ///< engine-wide rejections/epoch
+  double predicted_recall = -1.0;  ///< planner's sample-estimated recall
+  double recall_residual = 0.0;    ///< predicted - realized (last epoch)
+  std::string breached;  ///< comma-joined SLO names breaching now ("" = none)
+};
+
+/// Rolling-window SLO scorer for one query. Deterministic: status is a
+/// pure function of the observed signal sequence, so two identical runs
+/// transition at identical epochs.
+class QueryHealthTracker {
+ public:
+  QueryHealthTracker() = default;
+  explicit QueryHealthTracker(const HealthSlo& slo) : slo_(slo) {}
+
+  /// Signals harvested from one engine tick. Negative recall /
+  /// replan latency mean "no signal this epoch".
+  struct EpochSignals {
+    double recall = -1.0;
+    double energy_mj = 0.0;
+    double replan_latency_ms = -1.0;
+    double guard_rejects = 0.0;
+    double predicted_recall = -1.0;
+  };
+
+  void Observe(const EpochSignals& signals);
+
+  HealthStatus status() const { return health_.status; }
+  /// Current health (query_id is left for the engine to fill in).
+  const QueryHealth& health() const { return health_; }
+  const HealthSlo& slo() const { return slo_; }
+
+ private:
+  void PushWindow(std::deque<double>* window, double v);
+
+  HealthSlo slo_;
+  QueryHealth health_;
+  std::deque<double> recall_window_;
+  std::deque<double> energy_window_;
+  std::deque<double> latency_window_;
+  std::deque<double> guard_window_;
+};
+
+/// Renders a health report as OpenMetrics families (no "# EOF"; append to
+/// an obs::ToOpenMetricsBody() exposition). Status encodes as an integer
+/// gauge: 0 unknown, 1 healthy, 2 degraded, 3 unhealthy.
+std::string HealthOpenMetricsBody(const std::vector<QueryHealth>& report);
+
+/// Compact deterministic JSON array of per-query health objects.
+std::string HealthReportJson(const std::vector<QueryHealth>& report);
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_HEALTH_H_

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/core/plan_wire.h"
+#include "src/obs/obs.h"
 
 namespace prospector {
 namespace core {
@@ -134,6 +135,7 @@ double ChargeInstallCost(const QueryPlan& plan, net::NetworkSimulator* sim) {
     spent += sim->Unicast(u, /*num_values=*/0,
                           /*extra_bytes=*/SubplanWireBytes(plan, topo, u));
   }
+  PROSPECTOR_FLIGHT(kPlanInstall, "plan.install", -1, spent, plan.k);
   return spent;
 }
 

@@ -1,6 +1,7 @@
 #ifndef PROSPECTOR_CORE_PLAN_MANAGER_H_
 #define PROSPECTOR_CORE_PLAN_MANAGER_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -84,6 +85,7 @@ class PlanManager {
         installed_hits_.Store(
             SampleHits(*plan_, *ctx.topology, samples, options_.pool),
             *ctx.topology, samples);
+        UpdatePredictedRecall(samples);
       }
       const int cur_hits = installed_hits_.hits;
       if (new_hits <=
@@ -94,6 +96,7 @@ class PlanManager {
     }
     plan_ = std::move(candidate.value());
     installed_hits_.Store(new_hits, *ctx.topology, samples);
+    UpdatePredictedRecall(samples);
     ChargeInstallCost(*plan_, sim);
     ++disseminations_;
     RememberDecisionInputs(ctx, samples);
@@ -107,6 +110,7 @@ class PlanManager {
     plan_.reset();
     installed_hits_.Invalidate();
     last_decision_.Invalidate();
+    predicted_recall_ = -1.0;
   }
 
   /// Feeds an accuracy observation (e.g. proven fraction from a periodic
@@ -125,7 +129,22 @@ class PlanManager {
   int disseminations() const { return disseminations_; }
   double last_accuracy() const { return last_accuracy_; }
 
+  /// The installed plan's sample-estimated recall — expected hits over
+  /// k*|window| — i.e. the planner's own prediction of what the health
+  /// monitor later measures as realized recall. -1 before the first
+  /// install (and after InvalidatePlan).
+  double predicted_recall() const { return predicted_recall_; }
+
  private:
+  void UpdatePredictedRecall(const sampling::SampleSet& samples) {
+    const double denom = static_cast<double>(request_.k) *
+                         static_cast<double>(samples.num_samples());
+    predicted_recall_ =
+        denom > 0.0
+            ? std::min(1.0, static_cast<double>(installed_hits_.hits) / denom)
+            : -1.0;
+  }
+
   void RememberDecisionInputs(const PlannerContext& ctx,
                               const sampling::SampleSet& samples) {
     if (ctx.workspace == nullptr) return;
@@ -146,6 +165,7 @@ class PlanManager {
   int disseminations_ = 0;
   double last_accuracy_ = 1.0;
   bool boosted_ = false;
+  double predicted_recall_ = -1.0;
 };
 
 /// Creates a fresh planner per sweep point; planners keep per-Plan() state

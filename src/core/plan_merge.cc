@@ -341,6 +341,10 @@ SuperplanResult SuperplanExecutor::Execute(const Superplan& superplan,
   PROSPECTOR_COUNTER_ADD("exec.superplan.shared_values",
                          static_cast<int>(out.shared_values));
   PROSPECTOR_COUNTER_ADD("exec.superplan.values_lost", out.values_lost);
+  if (out.degraded) {
+    PROSPECTOR_FLIGHT(kNote, "exec.superplan.degraded", -1, out.values_lost,
+                      out.shared_messages);
+  }
   return out;
 }
 

@@ -392,6 +392,10 @@ ExecutionResult ProofExecutor::ExecuteMopUp() {
   PROSPECTOR_COUNTER_ADD("exec.mopup.requests", mopup_requests_);
   PROSPECTOR_COUNTER_ADD("exec.mopup.values_moved", mopup_values_moved_);
   PROSPECTOR_COUNTER_ADD("exec.mopup.values_lost", mopup_values_lost_);
+  if (degraded_) {
+    PROSPECTOR_FLIGHT(kNote, "exec.proof.degraded", -1, mopup_values_lost_,
+                      result.proven_count);
+  }
   return result;
 }
 

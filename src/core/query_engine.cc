@@ -35,7 +35,8 @@ QueryState::QueryState(int id_in, const QuerySpec& spec_in, int num_nodes,
       planner(MakePlanner(spec_in)),
       manager(planner.get(),
               PlanRequest{spec_in.k, spec_in.energy_budget_mj},
-              spec_in.manager) {}
+              spec_in.manager),
+      health(spec_in.slo) {}
 
 QueryEngine::QueryEngine(const net::Topology* topology,
                          net::EnergyModel energy, net::FailureModel failures,
@@ -90,12 +91,17 @@ int QueryEngine::AddQuery(const QuerySpec& spec) {
     q->samples.Add(collected);
   }
   PROSPECTOR_COUNTER_ADD("engine.queries_admitted", 1);
+  PROSPECTOR_FLIGHT(kNote, "engine.admit", id, spec.k,
+                    spec.energy_budget_mj);
   return id;
 }
 
 bool QueryEngine::RemoveQuery(int id) {
   const bool removed = registry_.Remove(id);
-  if (removed) PROSPECTOR_COUNTER_ADD("engine.queries_retired", 1);
+  if (removed) {
+    PROSPECTOR_COUNTER_ADD("engine.queries_retired", 1);
+    PROSPECTOR_FLIGHT(kNote, "engine.retire", id, registry_.size(), 0);
+  }
   return removed;
 }
 
@@ -128,6 +134,11 @@ Result<bool> QueryEngine::ReplanQuery(QueryState* q) {
     PROSPECTOR_COUNTER_ADD("session.replans", 1);
     PROSPECTOR_HISTOGRAM_RECORD("session.replan_latency_us",
                                 q->last_replan_latency_ms * 1000.0);
+    // No wall-clock in the black box (latency would break replay
+    // byte-identity): record what the replan installed, not how long it
+    // took.
+    PROSPECTOR_FLIGHT(kReplan, "engine.replan", q->id, spent,
+                      q->manager.predicted_recall());
   } else {
     TakeRadioStats();
   }
@@ -185,6 +196,8 @@ Result<bool> QueryEngine::MaybeHeal(TickResult* result) {
   PROSPECTOR_SPAN("session.heal");
   PROSPECTOR_COUNTER_ADD("session.watchdog.declared_dead",
                          static_cast<int64_t>(dead.size()));
+  PROSPECTOR_FLIGHT(kHeal, "engine.heal", -1, dead.size(),
+                    topology_->num_nodes());
 
   auto rebuilt = net::RebuildWithoutNodes(*topology_, dead,
                                           options_.rebuild_radio_range);
@@ -275,6 +288,58 @@ Result<bool> QueryEngine::MaybeHeal(TickResult* result) {
   return true;
 }
 
+std::vector<QueryHealth> QueryEngine::HealthReport() const {
+  std::vector<QueryHealth> out;
+  out.reserve(registry_.entries().size());
+  for (const auto& q : registry_.entries()) {
+    QueryHealth h = q->health.health();
+    h.query_id = q->id;
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+QueryHealth QueryEngine::query_health(int id) const {
+  QueryHealth h = At(id).health.health();
+  h.query_id = id;
+  return h;
+}
+
+void QueryEngine::UpdateHealth(TickResult* result) {
+  // Guard rejections are engine-wide (a rejected arrival cannot be
+  // attributed to one query on a shared radio), so every co-resident
+  // query is scored against the same per-epoch delta.
+  long long rejects = 0;
+  if (guarding_) {
+    const TransportGuard::Counters& c = guard_.counters();
+    rejects = c.stale_fenced + c.corrupt_rejected;
+  }
+  const double guard_delta =
+      static_cast<double>(rejects - guard_rejects_prev_);
+  guard_rejects_prev_ = rejects;
+
+  auto& queries = registry_.entries();
+  for (size_t i = 0; i < queries.size() && i < result->per_query.size();
+       ++i) {
+    QueryState* q = queries[i].get();
+    QueryTickResult& qr = result->per_query[i];
+    QueryHealthTracker::EpochSignals sig;
+    sig.recall = qr.recall;
+    sig.energy_mj = qr.energy_mj;
+    sig.replan_latency_ms = qr.replanned ? q->last_replan_latency_ms : -1.0;
+    sig.guard_rejects = guard_delta;
+    sig.predicted_recall = q->manager.predicted_recall();
+    const HealthStatus before = q->health.status();
+    q->health.Observe(sig);
+    qr.health = q->health.status();
+    if (qr.health != before) {
+      PROSPECTOR_FLIGHT(kNote, "engine.health", q->id,
+                        static_cast<int>(before),
+                        static_cast<int>(qr.health));
+    }
+  }
+}
+
 void QueryEngine::FinishTick(
     [[maybe_unused]] const TickResult& result) const {
   PROSPECTOR_COUNTER_ADD("session.values_lost",
@@ -327,6 +392,7 @@ Result<QueryEngine::TickResult> QueryEngine::Tick(
   PROSPECTOR_SPAN("session.tick");
   PROSPECTOR_COUNTER_ADD("session.epochs", 1);
   const int this_epoch = epoch_++;
+  PROSPECTOR_FLIGHT_EPOCH(this_epoch);
   sim_.set_epoch(this_epoch);
   if (guarding_) guard_.StartEpoch(this_epoch);
   if (injecting_) injector_.AdvanceTo(this_epoch);
@@ -411,6 +477,7 @@ Result<QueryEngine::TickResult> QueryEngine::Tick(
             queries[i]->last_replan_latency_ms;
       }
     }
+    UpdateHealth(&result);
     FinishTick(result);
     return result;
   }
@@ -515,6 +582,7 @@ Result<QueryEngine::TickResult> QueryEngine::Tick(
           queries[i]->last_replan_latency_ms;
     }
   }
+  UpdateHealth(&result);
   FinishTick(result);
   return result;
 }

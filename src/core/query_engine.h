@@ -7,6 +7,7 @@
 
 #include "src/core/exact.h"
 #include "src/core/greedy_planner.h"
+#include "src/core/health.h"
 #include "src/core/lp_filter_planner.h"
 #include "src/core/lp_no_filter_planner.h"
 #include "src/core/plan_manager.h"
@@ -38,6 +39,8 @@ struct QuerySpec {
   int audit_every = 0;
   /// Phase-1 budget of an audit, as a multiple of the proof floor.
   double audit_budget_factor = 1.15;
+  /// Service-level objectives this query's health is scored against.
+  HealthSlo slo;
 };
 
 /// Deployment-wide configuration shared by every registered query.
@@ -90,6 +93,9 @@ struct QueryState {
 
   int queries_since_audit = 0;
   double last_replan_latency_ms = 0.0;
+  /// Rolling-window SLO scorer fed once per tick (see DESIGN.md, "Flight
+  /// recorder & health model").
+  QueryHealthTracker health;
 
   /// Attributed energy by activity, mJ. Shared epochs (sweeps, merged
   /// superplans) are split across the queries aboard, so summing these
@@ -193,6 +199,8 @@ class QueryEngine {
     double replan_latency_ms = 0.0;
     bool degraded = false;
     int values_lost = 0;
+    /// This query's SLO health after the epoch was scored.
+    HealthStatus health = HealthStatus::kUnknown;
   };
 
   /// What one epoch did overall.
@@ -239,6 +247,11 @@ class QueryEngine {
   double install_energy_mj(int id) const { return At(id).install_energy_mj; }
   double total_energy_mj(int id) const { return At(id).total_energy_mj(); }
 
+  /// SLO health of every registered query, in admission order.
+  std::vector<QueryHealth> HealthReport() const;
+  /// One query's health (aborts on unknown id).
+  QueryHealth query_health(int id) const;
+
   // --- engine-level accessors ---
   int epoch() const { return epoch_; }
   const net::Topology& topology() const { return *topology_; }
@@ -284,6 +297,9 @@ class QueryEngine {
                     const std::vector<char>& delivered);
   void TranslateAnswer(std::vector<Reading>* answer) const;
   Result<bool> MaybeHeal(TickResult* result);
+  /// Feeds every tracker this epoch's signals and stamps per-query health
+  /// onto the result. Runs serially right before FinishTick.
+  void UpdateHealth(TickResult* result);
   void FinishTick(const TickResult& result) const;
 
   const net::Topology* topology_;
@@ -299,6 +315,9 @@ class QueryEngine {
   TransportGuard guard_;
   bool guarding_ = false;
   net::TransmissionStats radio_totals_;
+  /// Guard rejections seen up to the previous tick, so health scoring can
+  /// attribute a per-epoch rejection delta.
+  long long guard_rejects_prev_ = 0;
 
   /// Recent collected sweeps (current-tree indexing, oldest first) —
   /// what hydrates the window of a query admitted mid-flight. Capped at

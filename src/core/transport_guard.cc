@@ -15,6 +15,8 @@ int TransportGuard::AdmitCopies(const net::DeliveryResult& d,
     // rejected like a drop in both modes.
     ++counters_.corrupt_rejected;
     PROSPECTOR_COUNTER_ADD("transport.corrupt_rejected", 1);
+    PROSPECTOR_FLIGHT(kGuardReject, "guard.reject.corrupt", -1, child_edge,
+                      d.delivered_copies);
     return 0;
   }
   if (d.delayed_until_epoch >= 0) return 0;  // park it via Defer()
@@ -23,6 +25,8 @@ int TransportGuard::AdmitCopies(const net::DeliveryResult& d,
       counters_.duplicates_folded += d.delivered_copies - 1;
       PROSPECTOR_COUNTER_ADD("transport.duplicates_folded",
                              d.delivered_copies - 1);
+      PROSPECTOR_FLIGHT(kFold, "guard.fold.duplicates", -1, child_edge,
+                        d.delivered_copies - 1);
     }
     return d.delivered_copies;
   }
@@ -32,6 +36,8 @@ int TransportGuard::AdmitCopies(const net::DeliveryResult& d,
     // the header, not the caller's discipline.
     counters_.stale_fenced += d.delivered_copies;
     PROSPECTOR_COUNTER_ADD("transport.stale_fenced", d.delivered_copies);
+    PROSPECTOR_FLIGHT(kGuardReject, "guard.reject.stale", -1, child_edge,
+                      d.delivered_copies);
     return 0;
   }
   Reserve(child_edge);
@@ -40,6 +46,8 @@ int TransportGuard::AdmitCopies(const net::DeliveryResult& d,
     counters_.duplicates_dropped += d.delivered_copies;
     PROSPECTOR_COUNTER_ADD("transport.duplicates_dropped",
                            d.delivered_copies);
+    PROSPECTOR_FLIGHT(kFold, "guard.fold.duplicate_dropped", -1, child_edge,
+                      d.delivered_copies);
     return 0;
   }
   watermark_[child_edge] = h.seq;
@@ -47,6 +55,8 @@ int TransportGuard::AdmitCopies(const net::DeliveryResult& d,
     counters_.duplicates_dropped += d.delivered_copies - 1;
     PROSPECTOR_COUNTER_ADD("transport.duplicates_dropped",
                            d.delivered_copies - 1);
+    PROSPECTOR_FLIGHT(kFold, "guard.fold.duplicate_dropped", -1, child_edge,
+                      d.delivered_copies - 1);
   }
   return 1;
 }
@@ -54,6 +64,8 @@ int TransportGuard::AdmitCopies(const net::DeliveryResult& d,
 void TransportGuard::Defer(DelayedMessage msg) {
   ++counters_.deferred;
   PROSPECTOR_COUNTER_ADD("transport.deferred", 1);
+  PROSPECTOR_FLIGHT(kFold, "guard.defer", -1, msg.child_edge,
+                    msg.arrival_epoch);
   mailbox_.push_back(std::move(msg));
 }
 
@@ -73,9 +85,13 @@ std::vector<DelayedMessage> TransportGuard::DrainArrivals(GuardChannel channel,
       // fence refuses it unconditionally.
       ++counters_.stale_fenced;
       PROSPECTOR_COUNTER_ADD("transport.stale_fenced", 1);
+      PROSPECTOR_FLIGHT(kGuardReject, "guard.reject.stale_arrival", -1,
+                        child_edge, m.arrival_epoch);
     } else {
       ++counters_.stale_folded;
       PROSPECTOR_COUNTER_ADD("transport.stale_folded", 1);
+      PROSPECTOR_FLIGHT(kFold, "guard.fold.stale", -1, child_edge,
+                        m.arrival_epoch);
       out.push_back(std::move(m));
     }
     mailbox_.erase(mailbox_.begin() + static_cast<long>(i));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
+
 namespace prospector {
 namespace net {
 namespace {
@@ -35,6 +37,8 @@ FaultInjector::FaultInjector(int num_nodes, FaultSchedule schedule, int root)
 void FaultInjector::Apply(const FaultEvent& event) {
   const int v = event.node;
   if (v < 0 || v >= num_nodes_) return;  // stale id (e.g. after a rebuild)
+  PROSPECTOR_FLIGHT(kFaultInject, "fault.inject", -1, v,
+                    static_cast<int>(event.kind));
   switch (event.kind) {
     case FaultEvent::Kind::kKillNode:
       if (v == root_) break;  // the base station cannot die

@@ -12,6 +12,7 @@
 #include "src/net/failure.h"
 #include "src/net/fault_injector.h"
 #include "src/net/topology.h"
+#include "src/obs/obs.h"
 #include "src/util/rng.h"
 
 namespace prospector {
@@ -349,15 +350,23 @@ class NetworkSimulator {
       ++stats_.drops;
       ++edge.drops;
       stats_.values_lost += num_values;
+      PROSPECTOR_FLIGHT(kFaultInject, "sim.adversary.corrupt", -1,
+                        child_edge, num_values);
     } else if (out.delayed_until_epoch >= 0) {
       // In flight across epochs: lost from this epoch's viewpoint. A
       // fencing protocol refuses the stale arrival; only a broken one
       // folds it in.
       ++stats_.delayed;
       stats_.values_lost += num_values;
+      PROSPECTOR_FLIGHT(kFaultInject, "sim.adversary.delay", -1, child_edge,
+                        out.delayed_until_epoch);
     } else {
       stats_.values_transmitted += num_values;
       stats_.duplicates += extra_copies;
+      if (extra_copies > 0) {
+        PROSPECTOR_FLIGHT(kFaultInject, "sim.adversary.duplicate", -1,
+                          child_edge, extra_copies);
+      }
     }
     return out;
   }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 
 namespace prospector {
@@ -37,13 +38,26 @@ bool EnergyAuditFailFast() { return fail_fast.load(std::memory_order_relaxed); }
 bool AuditEnergy(const char* label, double claimed_mj, double measured_mj) {
   MetricsRegistry::Global().counter("audit.energy.checks")->Increment();
   const EnergyAuditResult r = CheckEnergyLedger(claimed_mj, measured_mj);
-  if (r.ok) return true;
+  if (r.ok) {
+    FlightRecorder::Global().Record(FlightKind::kAudit, "audit.energy.ok",
+                                    /*query_id=*/-1, claimed_mj, measured_mj);
+    return true;
+  }
   MetricsRegistry::Global().counter("audit.energy.failures")->Increment();
+  FlightRecorder::Global().Record(FlightKind::kAudit, "audit.energy.failed",
+                                  /*query_id=*/-1, claimed_mj, measured_mj);
   std::fprintf(stderr,
                "ENERGY LEDGER AUDIT FAILED [%s]: claimed %.9f mJ vs "
                "simulator ledger %.9f mJ (divergence %.3e mJ)\n",
                label, r.claimed_mj, r.measured_mj, r.divergence_mj);
-  if (EnergyAuditFailFast()) std::abort();
+  if (EnergyAuditFailFast()) {
+    // Ship the black box before dying: the epochs leading up to a ledger
+    // divergence are exactly what a postmortem needs.
+    const char* path = "prospector_flight_audit_failure.json";
+    FlightRecorder::Global().DumpToFile(path);
+    std::fprintf(stderr, "flight recorder dumped to %s\n", path);
+    std::abort();
+  }
   return false;
 }
 

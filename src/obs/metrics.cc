@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/obs/flight_recorder.h"
+#include "src/obs/trace.h"
+
 namespace prospector {
 namespace obs {
 namespace {
@@ -39,13 +42,23 @@ void Histogram::Record(double v) {
     data_.max = std::max(data_.max, v);
   }
   ++data_.count;
-  data_.sum += v;
+  // Neumaier-compensated summation: the branch keeps the low-order bits
+  // of whichever operand is smaller, so long soaks (millions of records)
+  // report the same sum regardless of how the run was chunked.
+  const double t = data_.sum + v;
+  if (std::abs(data_.sum) >= std::abs(v)) {
+    sum_compensation_ += (data_.sum - t) + v;
+  } else {
+    sum_compensation_ += (v - t) + data_.sum;
+  }
+  data_.sum = t;
   ++data_.buckets[BucketFor(v)];
 }
 
 Histogram::Data Histogram::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Data out = data_;
+  out.sum = data_.sum + sum_compensation_;
   if (out.buckets.empty()) out.buckets.assign(kNumBuckets, 0);
   return out;
 }
@@ -53,6 +66,7 @@ Histogram::Data Histogram::Snapshot() const {
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   data_ = Data{};
+  sum_compensation_ = 0.0;
 }
 
 std::string MetricsSnapshot::ToJson() const {
@@ -130,6 +144,17 @@ void MetricsRegistry::Reset() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+}
+
+void MetricsRegistry::ResetAll() {
+  Reset();
+  // Only the global registry owns the global flight recorder / tracer;
+  // resetting a test-local registry must not wipe another component's
+  // black box.
+  if (this == &Global()) {
+    FlightRecorder::Global().Clear();
+    Tracer::Global().Clear();
+  }
 }
 
 }  // namespace obs

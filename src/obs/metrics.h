@@ -54,9 +54,10 @@ class Gauge {
 };
 
 /// Distribution metric with base-2 exponential buckets. Bucket counts are
-/// interleaving-independent; `sum` is a float accumulation, so (same
-/// contract as Gauge) record histograms only from serial code when
-/// bit-identical snapshots matter.
+/// interleaving-independent; `sum` is a compensated (Kahan/Neumaier) float
+/// accumulation, so chaos-length soaks do not drift, but (same contract as
+/// Gauge) record histograms only from serial code when bit-identical
+/// snapshots matter.
 class Histogram {
  public:
   /// Bucket b holds values in (2^(b-1), 2^b]; bucket 0 holds v <= 1
@@ -78,6 +79,10 @@ class Histogram {
  private:
   mutable std::mutex mu_;
   Data data_;
+  // Neumaier compensation term for `sum`: Snapshot() reports
+  // data_.sum + sum_compensation_, which keeps million-sample soaks exact
+  // where a naive running sum drifts by ~1e3 ulps.
+  double sum_compensation_ = 0.0;
 };
 
 /// One deterministic view of the registry: every metric, sorted by name
@@ -109,6 +114,11 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
   /// Zeroes every metric but keeps registrations (pointers stay valid).
   void Reset();
+  /// Reset() plus, on the global registry, clearing the flight recorder
+  /// and the tracer: one call returning the whole observability layer to
+  /// its initial state, so metrics from a retired engine cannot bleed
+  /// into the next one's snapshots.
+  void ResetAll();
 
  private:
   mutable std::mutex mu_;

@@ -12,6 +12,7 @@
 /// so tooling and tests can use them directly in either mode.
 
 #include "src/obs/audit.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -31,6 +32,12 @@
   } while (0)
 #define PROSPECTOR_AUDIT_ENERGY(label, claimed_mj, measured_mj) \
   do {                                                          \
+  } while (0)
+#define PROSPECTOR_FLIGHT(kind, site, query_id, a, b) \
+  do {                                                \
+  } while (0)
+#define PROSPECTOR_FLIGHT_EPOCH(epoch) \
+  do {                                 \
   } while (0)
 
 #else  // observability compiled in (the default)
@@ -72,6 +79,19 @@
 /// divergence.
 #define PROSPECTOR_AUDIT_ENERGY(label, claimed_mj, measured_mj) \
   ::prospector::obs::AuditEnergy(label, claimed_mj, measured_mj)
+
+/// Appends one structured event to the flight recorder's black box.
+/// `kind` is a FlightKind member name (e.g. kReplan); `site` must be a
+/// string literal. Determinism contract: only call from serial code.
+#define PROSPECTOR_FLIGHT(kind, site, query_id, a, b)      \
+  ::prospector::obs::FlightRecorder::Global().Record(      \
+      ::prospector::obs::FlightKind::kind, site, query_id, \
+      static_cast<double>(a), static_cast<double>(b))
+
+/// Stamps the ambient epoch onto subsequent flight events. The engine
+/// calls this once at the top of every Tick.
+#define PROSPECTOR_FLIGHT_EPOCH(epoch) \
+  ::prospector::obs::FlightRecorder::Global().SetEpoch(epoch)
 
 #endif  // PROSPECTOR_OBS_DISABLED
 

@@ -275,6 +275,11 @@ ChaosReport RunChaos(const ChaosConfig& config) {
   report.config = config;
   report.schedule = GenerateChaosSchedule(config, config.num_nodes);
 
+  // A chaos run owns the flight recorder for its duration: clearing
+  // here resets per-thread sequence counters so a replay of the same
+  // config in the same process yields a byte-identical timeline.
+  obs::FlightRecorder::Global().Clear();
+
   // Topology: geometric placement at roughly the density of the fault
   // recovery experiments, so watchdog rebuilds have reconnection slack.
   Rng topo_rng(config.seed ^ 0x70b0a5eedULL);
@@ -478,7 +483,33 @@ ChaosReport RunChaos(const ChaosConfig& config) {
     report.violations.push_back("I4: " + std::to_string(audit_tripped) +
                                 " obs energy-audit checks failed");
   }
+
+  report.health = engine.HealthReport();
+  report.flight = obs::FlightRecorder::Global().Snapshot();
   return report;
+}
+
+Json FlightEventsToJson(const std::vector<obs::FlightEvent>& events) {
+  Json cols = Json::Array();
+  for (const char* c : {"epoch", "site", "kind", "seq", "query", "a", "b"}) {
+    cols.Append(c);
+  }
+  Json rows = Json::Array();
+  for (const obs::FlightEvent& ev : events) {
+    Json row = Json::Array();
+    row.Append(ev.epoch);
+    row.Append(ev.site);
+    row.Append(obs::FlightKindName(ev.kind));
+    row.Append(static_cast<int64_t>(ev.seq));
+    row.Append(ev.query_id);
+    row.Append(ev.a);
+    row.Append(ev.b);
+    rows.Append(std::move(row));
+  }
+  Json j = Json::Object();
+  j.Set("columns", std::move(cols));
+  j.Set("events", std::move(rows));
+  return j;
 }
 
 Json ChaosArtifact(const ChaosReport& report) {
@@ -493,6 +524,13 @@ Json ChaosArtifact(const ChaosReport& report) {
   Json violations = Json::Array();
   for (const std::string& v : report.violations) violations.Append(v);
   c.Set("violations", std::move(violations));
+#ifndef PROSPECTOR_OBS_DISABLED
+  // The merged flight timeline rides along so a violation artifact tells
+  // the whole story; replay compares it byte-for-byte (the key is absent
+  // from artifacts written by obs-disabled builds, and replay skips the
+  // check when either side lacks it).
+  c.Set("flight_recorder", FlightEventsToJson(report.flight));
+#endif
 
   Json doc = Json::Object();
   doc.Set("module", "fault_schedule");

@@ -8,6 +8,7 @@
 #include "src/core/query_engine.h"
 #include "src/net/fault_injector.h"
 #include "src/net/simulator.h"
+#include "src/obs/flight_recorder.h"
 #include "src/testvec/json.h"
 #include "src/util/status.h"
 
@@ -106,6 +107,14 @@ struct ChaosReport {
   /// epoch (empty on sweep epochs). The I7 arm compares these across
   /// duplication-on/off runs.
   std::vector<std::vector<std::vector<core::Reading>>> answers;
+  /// Final per-query health verdicts (admission order), captured before
+  /// the engine is torn down so `prospector_obsdump` can render them.
+  std::vector<core::QueryHealth> health;
+  /// Merged flight-recorder timeline for the whole run. Deterministic:
+  /// the recorder is cleared at run start, every event is recorded from
+  /// serial code with no wall-clock values, so replaying the same config
+  /// reproduces this byte-for-byte (empty when obs is compiled out).
+  std::vector<obs::FlightEvent> flight;
   /// Human-readable invariant violations; empty means the run is clean.
   std::vector<std::string> violations;
 
@@ -118,6 +127,11 @@ struct ChaosReport {
 /// Runs one seeded chaos schedule end to end and checks invariants
 /// I1-I4 (I5-I7 are cross-run properties the soak test asserts).
 ChaosReport RunChaos(const ChaosConfig& config);
+
+/// Columnar JSON for a merged flight timeline: {"columns": [...],
+/// "events": [[epoch, site, kind, seq, query, a, b], ...]}. Byte-stable
+/// across replays of the same config (see ChaosReport::flight).
+Json FlightEventsToJson(const std::vector<obs::FlightEvent>& events);
 
 /// Serializes a run as a replayable vector file: module "fault_schedule",
 /// one case of kind "chaos_replay" carrying the config, the materialized

@@ -384,6 +384,21 @@ Status ReplayFaultScheduleCase(const Json& c) {
             "(schedule generator drifted)");
       }
     }
+#ifndef PROSPECTOR_OBS_DISABLED
+    if (c.contains("flight_recorder")) {
+      // The flight timeline is deterministic (serial recording, no
+      // wall-clock values), so a replay must reproduce it byte-for-byte.
+      // Skipped when the artifact predates the recorder or was written
+      // by an obs-disabled build.
+      const std::string got = FlightEventsToJson(report.flight).Dump(-1);
+      const std::string want = c.at("flight_recorder").Dump(-1);
+      if (got != want) {
+        return CaseError(
+            "replayed flight-recorder timeline differs from the recorded "
+            "one (recorder instrumentation drifted)");
+      }
+    }
+#endif
     if (!report.ok()) {
       std::string all = "chaos run violated invariants:";
       for (const std::string& v : report.violations) all += "\n    " + v;

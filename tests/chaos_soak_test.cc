@@ -54,12 +54,18 @@ TEST(ChaosSoak, SeededSchedulesHoldEveryInvariant) {
     if (!report.ok()) {
       // Persist a replayable repro before failing: CI uploads these, and
       // `testvec_replay <artifact>` reproduces the violation locally.
+      // The artifact embeds the flight timeline; the standalone dump is
+      // the same data for `prospector_obsdump` / eyeballs.
       const std::string artifact =
           "chaos_violation_seed" + std::to_string(seed) + ".json";
       WriteChaosArtifact(artifact, report);
+      const std::string flight_dump =
+          "chaos_flight_seed" + std::to_string(seed) + ".json";
+      WriteFile(flight_dump, FlightEventsToJson(report.flight).Dump(2) + "\n");
       for (const std::string& v : report.violations) {
         ADD_FAILURE() << "seed " << seed << ": " << v
-                      << " (replay artifact: " << artifact << ")";
+                      << " (replay artifact: " << artifact
+                      << ", flight dump: " << flight_dump << ")";
       }
     }
     // I1 asserted structurally on top of RunChaos's own checks: a fenced
@@ -177,6 +183,46 @@ TEST(ChaosArtifactTest, ArtifactRoundTripsThroughTheReplayHarness) {
   EXPECT_TRUE(st.ok()) << st.ToString();
   EXPECT_EQ(stats.cases, 1);
 }
+
+#ifndef PROSPECTOR_OBS_DISABLED
+TEST(ChaosArtifactTest, FlightTimelineIsReplayDeterministic) {
+  // The acceptance contract for flight dumps: the same config replayed in
+  // the same process yields a byte-identical merged timeline (serial
+  // recording, seq counters reset by RunChaos, no wall-clock payloads).
+  const ChaosConfig config = SoakConfig(5);
+  const ChaosReport first = RunChaos(config);
+  const ChaosReport second = RunChaos(config);
+  ASSERT_FALSE(first.flight.empty());
+  EXPECT_EQ(FlightEventsToJson(first.flight).Dump(-1),
+            FlightEventsToJson(second.flight).Dump(-1));
+}
+
+TEST(ChaosArtifactTest, TamperedFlightTimelineFailsReplay) {
+  const ChaosReport report = RunChaos(SoakConfig(6));
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report.flight.empty());
+  const std::string path = ::testing::TempDir() + "chaos_flight_tampered.json";
+  ASSERT_TRUE(WriteChaosArtifact(path, report).ok());
+  auto doc = LoadVectorFile(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  // Drop the last flight event: the recorded timeline no longer matches
+  // what the replay regenerates, so the artifact must be rejected.
+  Json& cases = *doc->Find("cases");
+  Json* flight = cases[0].Find("flight_recorder");
+  ASSERT_NE(flight, nullptr);
+  Json truncated = Json::Array();
+  const Json& events = flight->at("events");
+  ASSERT_GT(events.size(), 1u);
+  for (size_t i = 0; i + 1 < events.size(); ++i) {
+    truncated.Append(events[i]);
+  }
+  flight->Set("events", std::move(truncated));
+  ASSERT_TRUE(WriteFile(path, doc->Dump(2) + "\n").ok());
+  const Status st = ReplayVectorFile(path, nullptr);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("flight"), std::string::npos) << st.ToString();
+}
+#endif  // PROSPECTOR_OBS_DISABLED
 
 TEST(ChaosArtifactTest, TamperedScheduleFailsReplay) {
   const ChaosReport report = RunChaos(SoakConfig(4));

@@ -4,12 +4,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "src/core/executor.h"
 #include "src/core/plan_merge.h"
 #include "src/data/gaussian_field.h"
 #include "src/obs/audit.h"
+#include "src/obs/obs.h"
 #include "src/util/rng.h"
 
 namespace prospector {
@@ -331,6 +333,170 @@ TEST(QueryEngineTest, PerQueryAuditsRunAlongsideMergedQueries) {
   EXPECT_GT(merged_during_audit, 0)
       << "the unaudited query must keep answering during audits";
   EXPECT_GT(engine.audit_energy_mj(q_audited), 0.0);
+}
+
+// --- Health monitor ------------------------------------------------------
+
+// The acceptance scenario for HealthReport(): kill the subtree holding a
+// query's entire answer and the victim must go unhealthy within
+// breach_epochs (2) scored epochs, while a co-resident query whose recall
+// survives the kill stays healthy.
+TEST(QueryEngineHealthTest, SubtreeKillFlagsVictimWithinTwoEpochs) {
+  // Star: root 0, leaves 1..6. Node 1 holds the unique top-1 value, so
+  // killing it zeroes the k=1 query's recall while the k=5 query keeps
+  // 4 of its 5 members (0.8 >= the 0.7 SLO floor).
+  auto topo = net::Topology::FromParents({-1, 0, 0, 0, 0, 0, 0}).value();
+  const std::vector<double> truth = {1.0, 100.0, 50.0, 40.0, 30.0, 20.0,
+                                     10.0};
+  constexpr int kKillEpoch = 5;
+
+  QueryEngineOptions opts;
+  opts.bootstrap_sweeps = 3;
+  opts.faults.KillNode(kKillEpoch, 1);
+  QueryEngine engine(&topo, {}, {}, opts, 13);
+
+  QuerySpec victim;
+  victim.k = 1;
+  victim.energy_budget_mj = 20.0;
+  victim.manager.base_explore_probability = 0.0;
+  victim.manager.boosted_explore_probability = 0.0;
+  QuerySpec survivor = victim;
+  survivor.k = 5;
+  const int victim_id = engine.AddQuery(victim);
+  const int survivor_id = engine.AddQuery(survivor);
+
+  int victim_unhealthy_at = -1;
+  for (int t = 0; t < 12; ++t) {
+    auto r = engine.Tick(truth);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    for (const auto& qr : r->per_query) {
+      if (qr.query_id == victim_id && qr.health == HealthStatus::kUnhealthy &&
+          victim_unhealthy_at < 0) {
+        victim_unhealthy_at = t;
+      }
+    }
+    if (t < kKillEpoch && t >= opts.bootstrap_sweeps) {
+      // Before the kill both queries answer perfectly: nobody is flagged.
+      for (const auto& qr : r->per_query) {
+        EXPECT_NE(qr.health, HealthStatus::kUnhealthy)
+            << "query " << qr.query_id << " flagged before the fault at t="
+            << t;
+      }
+    }
+  }
+
+  ASSERT_GE(victim_unhealthy_at, 0) << "victim was never flagged";
+  EXPECT_LE(victim_unhealthy_at, kKillEpoch + 1)
+      << "unhealthy must trip within breach_epochs=2 of the kill";
+
+  const QueryHealth victim_health = engine.query_health(victim_id);
+  EXPECT_EQ(victim_health.status, HealthStatus::kUnhealthy);
+  EXPECT_GE(victim_health.consecutive_breaches, 2);
+  EXPECT_NE(victim_health.breached.find("recall"), std::string::npos);
+  EXPECT_DOUBLE_EQ(victim_health.last_recall, 0.0);
+
+  const QueryHealth survivor_health = engine.query_health(survivor_id);
+  EXPECT_EQ(survivor_health.status, HealthStatus::kHealthy)
+      << "co-resident query breached despite recall "
+      << survivor_health.last_recall;
+  EXPECT_GE(survivor_health.last_recall, 0.7);
+
+  // HealthReport lists both, in admission order, with matching verdicts.
+  const std::vector<QueryHealth> report = engine.HealthReport();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].query_id, victim_id);
+  EXPECT_EQ(report[0].status, HealthStatus::kUnhealthy);
+  EXPECT_EQ(report[1].query_id, survivor_id);
+  EXPECT_EQ(report[1].status, HealthStatus::kHealthy);
+
+  // The planner's predicted recall and the realized residual both surface.
+  EXPECT_GE(report[0].predicted_recall, 0.0);
+  EXPECT_GT(report[0].recall_residual, 0.0)
+      << "prediction should exceed realized recall after the kill";
+}
+
+// A disarmed SLO never trips: thresholds of -1 disable each check.
+TEST(QueryEngineHealthTest, DisarmedSloNeverTrips) {
+  auto topo = net::Topology::FromParents({-1, 0, 0, 0}).value();
+  QueryEngineOptions opts;
+  opts.bootstrap_sweeps = 2;
+  opts.faults.KillNode(3, 1);
+  QueryEngine engine(&topo, {}, {}, opts, 17);
+  QuerySpec spec;
+  spec.k = 1;
+  spec.slo.min_recall = -1.0;  // nothing armed
+  spec.manager.base_explore_probability = 0.0;
+  spec.manager.boosted_explore_probability = 0.0;
+  const int id = engine.AddQuery(spec);
+  const std::vector<double> truth = {1.0, 100.0, 50.0, 40.0};
+  for (int t = 0; t < 10; ++t) {
+    ASSERT_TRUE(engine.Tick(truth).ok());
+  }
+  EXPECT_NE(engine.query_health(id).status, HealthStatus::kUnhealthy);
+  EXPECT_NE(engine.query_health(id).status, HealthStatus::kDegraded);
+}
+
+// --- MetricsRegistry::ResetAll leakage (satellite) -----------------------
+
+// Two engine lifetimes with a ResetAll between them must start from the
+// same observability state: no counter value, flight event, or trace span
+// may leak from the first run into the second run's snapshot.
+TEST(QueryEngineTest, ResetAllClearsCrossRunObservabilityState) {
+  const auto run_once = [] {
+    World w(21, 30);
+    QueryEngineOptions opts;
+    opts.bootstrap_sweeps = 3;
+    QueryEngine engine(&w.topo, {}, {}, opts, 19);
+    QuerySpec spec;
+    spec.k = 4;
+    engine.AddQuery(spec);
+    Rng rng(22);
+    for (int t = 0; t < 8; ++t) {
+      EXPECT_TRUE(engine.Tick(w.field.Sample(&rng)).ok());
+    }
+  };
+
+  obs::MetricsRegistry::Global().ResetAll();
+  run_once();
+  const obs::MetricsSnapshot first = obs::MetricsRegistry::Global().Snapshot();
+  const size_t first_flight = obs::FlightRecorder::Global().Snapshot().size();
+
+  obs::MetricsRegistry::Global().ResetAll();
+#ifndef PROSPECTOR_OBS_DISABLED
+  // ResetAll wiped the flight recorder along with the metrics...
+  EXPECT_TRUE(obs::FlightRecorder::Global().Snapshot().empty());
+  EXPECT_GT(first_flight, 0u);
+#endif
+#ifndef PROSPECTOR_OBS_DISABLED
+  // ...and a zeroed registry renders differently from a used one. (In OFF
+  // builds both snapshots are empty, so only the leak equality below holds.)
+  EXPECT_NE(obs::MetricsRegistry::Global().Snapshot().ToJson(),
+            first.ToJson());
+#endif
+
+  run_once();
+  const obs::MetricsSnapshot second =
+      obs::MetricsRegistry::Global().Snapshot();
+  // Identical runs from identical zero states leave identical counters —
+  // any leak through ResetAll would break this equality. (Histograms are
+  // excluded only because replan latency is wall-clock.)
+  EXPECT_EQ(first.counters, second.counters);
+  EXPECT_EQ(first.gauges, second.gauges);
+
+  // A local registry's ResetAll must NOT clear the global flight recorder
+  // (it only owns its own metrics).
+#ifndef PROSPECTOR_OBS_DISABLED
+  obs::FlightRecorder::Global().Clear();
+  obs::FlightRecorder::Global().Record(obs::FlightKind::kNote, "test.keep",
+                                       -1, 1.0, 0.0);
+  obs::MetricsRegistry local;
+  local.counter("x")->Increment();
+  local.ResetAll();
+  EXPECT_EQ(local.counter("x")->value(), 0);
+  EXPECT_EQ(obs::FlightRecorder::Global().Snapshot().size(), 1u);
+  obs::FlightRecorder::Global().Clear();
+#endif
+  obs::MetricsRegistry::Global().ResetAll();
 }
 
 }  // namespace

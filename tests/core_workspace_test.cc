@@ -256,6 +256,9 @@ TEST(WorkspaceTest, ClearDropsCachesAndInFlightLeases) {
 }
 
 TEST(WorkspaceTest, CountersAppearInMetricsSnapshot) {
+#ifdef PROSPECTOR_OBS_DISABLED
+  GTEST_SKIP() << "instrumentation compiled out in OBS=OFF builds";
+#endif
   obs::MetricsRegistry::Global().Reset();
   Instance inst = MakeInstance(30, 5, 8, 55);
   PlanningWorkspace ws;

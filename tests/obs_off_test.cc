@@ -1,0 +1,76 @@
+// The instrumentation-off arm (satellite: PROSPECTOR_OBS=OFF no-op path).
+//
+// This translation unit alone is compiled with PROSPECTOR_OBS_DISABLED
+// (see tests/CMakeLists.txt) while linking the normal, instrumented
+// libraries — which is exactly the contract obs.h documents: the macros
+// are the compile-time gate, the classes behind them always exist. Every
+// macro here must expand to zero instructions, and the always-compiled
+// classes must stay directly usable so tooling works in either mode.
+//
+// The full-build OFF arm (all TUs recompiled with -DPROSPECTOR_OBS=OFF)
+// runs as a separate CI configure in the obs-smoke job.
+
+#include "src/obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/openmetrics.h"
+
+namespace prospector {
+namespace obs {
+namespace {
+
+#ifndef PROSPECTOR_OBS_DISABLED
+#error "obs_off_test must be compiled with PROSPECTOR_OBS_DISABLED"
+#endif
+
+TEST(ObsOffTest, FlightMacrosCompileToNothing) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Clear();
+  // In this TU these are `do { } while (0)`: nothing may be recorded and
+  // the arguments must not even be evaluated.
+  int evaluations = 0;
+  PROSPECTOR_FLIGHT(kNote, "off.site", (++evaluations, 1), 1.0, 2.0);
+  PROSPECTOR_FLIGHT_EPOCH(++evaluations);
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(fr.Snapshot().empty());
+  EXPECT_EQ(fr.epoch(), -1);
+}
+
+TEST(ObsOffTest, MetricMacrosCompileToNothing) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetAll();
+  int evaluations = 0;
+  PROSPECTOR_COUNTER_ADD("off.counter", (++evaluations, 1));
+  PROSPECTOR_GAUGE_SET("off.gauge", (++evaluations, 2.0));
+  PROSPECTOR_HISTOGRAM_RECORD("off.hist", (++evaluations, 3.0));
+  PROSPECTOR_SPAN("off.span");
+  PROSPECTOR_AUDIT_ENERGY("off.audit", (++evaluations, 1.0), 2.0);
+  EXPECT_EQ(evaluations, 0);
+  const MetricsSnapshot snap = reg.Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_TRUE(name.rfind("off.", 0) != 0) << name;
+  }
+}
+
+TEST(ObsOffTest, ClassesRemainDirectlyUsable) {
+  // Tooling bypasses the macros, so the classes must work in OFF builds.
+  MetricsRegistry reg;
+  reg.counter("off.direct")->Add(5);
+  EXPECT_EQ(reg.counter("off.direct")->value(), 5);
+  const std::string text = ToOpenMetrics(reg.Snapshot());
+  EXPECT_NE(text.find("prospector_off_direct_total 5"), std::string::npos);
+
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Clear();
+  fr.SetEpoch(2);
+  fr.Record(FlightKind::kNote, "off.manual", 1, 4.0, 5.0);
+  EXPECT_EQ(fr.Snapshot().size(), 1u);
+  fr.Clear();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prospector

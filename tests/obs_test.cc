@@ -14,6 +14,7 @@
 #include "src/core/executor.h"
 #include "src/core/lp_filter_planner.h"
 #include "src/core/session.h"
+#include "src/obs/openmetrics.h"
 #include "src/data/gaussian_field.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -321,6 +322,163 @@ TEST(ObsStatsTest, PerEdgeLedgerSumsMatchAggregate) {
   EXPECT_EQ(retries, stats.retries);
   EXPECT_EQ(drops, stats.drops);
   EXPECT_NEAR(energy, stats.total_energy_mj, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(ObsFlightTest, SnapshotMergesByEpochSiteSeq) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Clear();
+  EXPECT_EQ(fr.epoch(), -1);
+  fr.Record(FlightKind::kNote, "test.pre", -1, 0.0, 0.0);  // epoch -1
+  fr.SetEpoch(3);
+  fr.Record(FlightKind::kNote, "test.site.b", 1, 1.5, 2.5);
+  fr.Record(FlightKind::kReplan, "test.site.a", 2, 0.25, 0.75);
+  fr.SetEpoch(4);
+  fr.Record(FlightKind::kHeal, "test.site.a", -1, 9.0, 1.0);
+
+  const std::vector<FlightEvent> events = fr.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].epoch, -1);
+  EXPECT_STREQ(events[0].site, "test.pre");
+  // Within one epoch, site name breaks the tie before sequence.
+  EXPECT_STREQ(events[1].site, "test.site.a");
+  EXPECT_EQ(events[1].kind, FlightKind::kReplan);
+  EXPECT_EQ(events[1].query_id, 2);
+  EXPECT_STREQ(events[2].site, "test.site.b");
+  EXPECT_DOUBLE_EQ(events[2].a, 1.5);
+  EXPECT_EQ(events[3].epoch, 4);
+  fr.Clear();
+}
+
+TEST(ObsFlightTest, ClearResetsSequenceCountersForReplayDeterminism) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Clear();
+  fr.Record(FlightKind::kNote, "test.seq", -1, 1.0, 0.0);
+  fr.Record(FlightKind::kNote, "test.seq", -1, 2.0, 0.0);
+  const std::vector<FlightEvent> first = fr.Snapshot();
+  fr.Clear();
+  EXPECT_EQ(fr.epoch(), -1);  // Clear also resets the ambient epoch
+  fr.Record(FlightKind::kNote, "test.seq", -1, 1.0, 0.0);
+  fr.Record(FlightKind::kNote, "test.seq", -1, 2.0, 0.0);
+  const std::vector<FlightEvent> second = fr.Snapshot();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].seq, second[i].seq);  // bit-identical replays
+    EXPECT_DOUBLE_EQ(first[i].a, second[i].a);
+  }
+  fr.Clear();
+}
+
+TEST(ObsFlightTest, RingDropsOldestAndCountsDrops) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Clear();
+  fr.SetCapacity(4);
+  for (int i = 0; i < 6; ++i) {
+    fr.Record(FlightKind::kNote, "test.ring", -1, static_cast<double>(i), 0.0);
+  }
+  const std::vector<FlightEvent> events = fr.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events.front().a, 2.0);  // 0 and 1 rolled off
+  EXPECT_DOUBLE_EQ(events.back().a, 5.0);
+  EXPECT_EQ(fr.dropped(), 2);
+  fr.SetCapacity(FlightRecorder::kDefaultCapacity);
+  fr.Clear();
+}
+
+TEST(ObsFlightTest, DumpJsonCarriesSchemaColumnsAndEvents) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Clear();
+  fr.SetEpoch(1);
+  fr.Record(FlightKind::kGuardReject, "test.dump", 7, 0.5, 1.0);
+  const std::string json = fr.DumpJson();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"columns\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"test.dump\""), std::string::npos);
+  EXPECT_NE(json.find("\"guard_reject\""), std::string::npos);
+  fr.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics exposition
+// ---------------------------------------------------------------------------
+
+TEST(ObsOpenMetricsTest, NameSanitization) {
+  EXPECT_EQ(OpenMetricsName("session.replans"), "prospector_session_replans");
+  EXPECT_EQ(OpenMetricsName("a-b c/d"), "prospector_a_b_c_d");
+}
+
+TEST(ObsOpenMetricsTest, RendersCountersGaugesAndCumulativeBuckets) {
+  MetricsRegistry reg;
+  reg.counter("test.count")->Add(3);
+  reg.gauge("test.gauge")->Set(2.5);
+  Histogram* h = reg.histogram("test.hist");
+  h->Record(0.5);  // bucket 0 (le 1)
+  h->Record(3.0);  // bucket 2 (le 4)
+
+  const std::string text = ToOpenMetrics(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE prospector_test_count counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("prospector_test_count_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prospector_test_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("prospector_test_gauge 2.5"), std::string::npos);
+  // Buckets are cumulative and close with +Inf, _count, _sum.
+  EXPECT_NE(text.find("prospector_test_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("prospector_test_hist_bucket{le=\"4\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("prospector_test_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("prospector_test_hist_count 2"), std::string::npos);
+  EXPECT_NE(text.find("prospector_test_hist_sum 3.5"), std::string::npos);
+  // A complete exposition terminates with EOF; the body variant does not.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+  const std::string body = ToOpenMetricsBody(reg.Snapshot());
+  EXPECT_EQ(body.find("# EOF"), std::string::npos);
+  EXPECT_EQ(text, body + "# EOF\n");
+}
+
+TEST(ObsOpenMetricsTest, EqualStateRendersByteIdentically) {
+  const auto build = [] {
+    MetricsRegistry reg;
+    reg.counter("test.b")->Add(2);
+    reg.counter("test.a")->Increment();
+    reg.histogram("test.h")->Record(7.0);
+    return ToOpenMetrics(reg.Snapshot());
+  };
+  EXPECT_EQ(build(), build());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram sum compensation (satellite: Kahan/Neumaier fix)
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetricsTest, HistogramSumSurvivesCatastrophicCancellation) {
+  // Naive accumulation yields 0.0 here; plain Kahan also fails (the large
+  // magnitude arrives second). Neumaier keeps the two small terms.
+  Histogram h;
+  h.Record(1.0);
+  h.Record(1e100);
+  h.Record(1.0);
+  h.Record(-1e100);
+  EXPECT_DOUBLE_EQ(h.Snapshot().sum, 2.0);
+}
+
+TEST(ObsMetricsTest, HistogramSumKeepsSmallAddendsOnLargeBase) {
+  Histogram h;
+  h.Record(1e16);  // ULP is 2: every naive +1.0 below would vanish
+  for (int i = 0; i < 1000; ++i) h.Record(1.0);
+  const double sum = h.Snapshot().sum;
+  EXPECT_DOUBLE_EQ(sum, 1e16 + 1000.0);
+  EXPECT_NE(sum, 1e16);
+  // Reset clears the compensation term along with the raw sum.
+  h.Reset();
+  h.Record(2.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().sum, 2.0);
 }
 
 TEST(ObsSessionTest, TickSurfacesRecallAndReplanLatency) {

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Compare two trees (or files) of BENCH_<name>.json artifacts.
+
+Usage:
+    tools/bench_diff.py OLD NEW [--tol REL] [--seed-strict]
+
+OLD and NEW are directories holding BENCH_*.json files (e.g. two CI
+bench-smoke artifact downloads) or two individual artifact files.
+
+For every artifact name present in both trees the script checks
+provenance first — schema_version must match, and config_fingerprint
+must match (different fingerprints mean the benches measured different
+configurations, so comparing their rows would be apples to oranges) —
+and then reports per-cell relative deltas exceeding --tol (default 5%).
+Artifacts present on only one side are listed. Exit status: 0 when
+every common artifact is comparable and within tolerance, 1 otherwise.
+
+Seeds are provenance, not configuration: a seed difference is reported
+but only fails the diff under --seed-strict.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_tree(path):
+    """Maps artifact name -> parsed JSON for a directory or single file."""
+    out = {}
+    if os.path.isfile(path):
+        paths = [path]
+    else:
+        paths = [
+            os.path.join(path, f)
+            for f in sorted(os.listdir(path))
+            if f.startswith("BENCH_") and f.endswith(".json")
+        ]
+    for p in paths:
+        with open(p, "r", encoding="utf-8") as f:
+            out[os.path.basename(p)] = json.load(f)
+    return out
+
+
+def tables_of(doc):
+    """Normalizes both artifact shapes to a list of (title, columns, rows)."""
+    if "tables" in doc:
+        return [(t.get("title", ""), t.get("columns", []), t.get("rows", []))
+                for t in doc["tables"]]
+    return [("", doc.get("columns", []), doc.get("rows", []))]
+
+
+def rel_delta(a, b):
+    if a == b:
+        return 0.0
+    scale = max(abs(a), abs(b))
+    return abs(a - b) / scale if scale > 0 else 0.0
+
+
+def diff_artifact(name, old, new, tol, seed_strict, out):
+    """Appends human-readable findings to `out`; returns True when clean."""
+    ok = True
+    sv_old = old.get("schema_version", 1)
+    sv_new = new.get("schema_version", 1)
+    if sv_old != sv_new:
+        out.append(f"{name}: schema_version {sv_old} != {sv_new}; "
+                   "not comparable")
+        return False
+    fp_old = old.get("config_fingerprint")
+    fp_new = new.get("config_fingerprint")
+    if fp_old != fp_new:
+        out.append(f"{name}: config_fingerprint {fp_old} != {fp_new}; "
+                   "the benches measured different configurations")
+        return False
+    seed_old = old.get("seed", 0)
+    seed_new = new.get("seed", 0)
+    if seed_old != seed_new:
+        out.append(f"{name}: seed {seed_old} != {seed_new}"
+                   + (" (failing: --seed-strict)" if seed_strict
+                      else " (note: different RNG streams)"))
+        if seed_strict:
+            ok = False
+
+    old_tables = tables_of(old)
+    new_tables = tables_of(new)
+    if len(old_tables) != len(new_tables):
+        out.append(f"{name}: table count {len(old_tables)} != "
+                   f"{len(new_tables)}")
+        return False
+    for (title, cols_o, rows_o), (_, cols_n, rows_n) in zip(
+            old_tables, new_tables):
+        label = f"{name}" + (f"[{title}]" if title else "")
+        if cols_o != cols_n:
+            out.append(f"{label}: column sets differ")
+            ok = False
+            continue
+        if len(rows_o) != len(rows_n):
+            out.append(f"{label}: row count {len(rows_o)} != {len(rows_n)}")
+            ok = False
+            continue
+        for r, (row_o, row_n) in enumerate(zip(rows_o, rows_n)):
+            for c, (a, b) in enumerate(zip(row_o, row_n)):
+                d = rel_delta(a, b)
+                if d > tol:
+                    col = cols_o[c] if c < len(cols_o) else f"col{c}"
+                    out.append(f"{label}: row {r} {col}: "
+                               f"{a:.6g} -> {b:.6g} ({d * 100.0:.1f}%)")
+                    ok = False
+    return ok
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", help="baseline tree or artifact file")
+    ap.add_argument("new", help="candidate tree or artifact file")
+    ap.add_argument("--tol", type=float, default=0.05,
+                    help="relative per-cell tolerance (default 0.05)")
+    ap.add_argument("--seed-strict", action="store_true",
+                    help="fail when seeds differ")
+    args = ap.parse_args(argv)
+
+    old_tree = load_tree(args.old)
+    new_tree = load_tree(args.new)
+    findings = []
+    clean = True
+    for name in sorted(set(old_tree) - set(new_tree)):
+        findings.append(f"{name}: only in {args.old}")
+        clean = False
+    for name in sorted(set(new_tree) - set(old_tree)):
+        findings.append(f"{name}: only in {args.new}")
+        clean = False
+    common = sorted(set(old_tree) & set(new_tree))
+    for name in common:
+        if not diff_artifact(name, old_tree[name], new_tree[name],
+                             args.tol, args.seed_strict, findings):
+            clean = False
+    for line in findings:
+        print(line)
+    print(f"compared {len(common)} artifact(s): "
+          + ("OK" if clean else "DIFFERENCES"))
+    return 0 if clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
