@@ -1,6 +1,8 @@
 #include "src/core/health.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <numeric>
 
 namespace prospector {
@@ -115,6 +117,137 @@ void QueryHealthTracker::Observe(const EpochSignals& s) {
   }
 }
 
+namespace {
+
+/// Shared by every per-query series: the query label plus the fleet tags
+/// when present, so one exposition covers many deployments and tenants
+/// without colliding series. Tag order is fixed (query, deployment,
+/// tenant) — equal reports render byte-identically.
+std::string QueryLabels(const QueryHealth& q) {
+  std::string out = "{query=\"" + std::to_string(q.query_id) + "\"";
+  if (q.deployment_id >= 0) {
+    out += ",deployment=\"" + std::to_string(q.deployment_id) + "\"";
+  }
+  if (q.tenant_id >= 0) {
+    out += ",tenant=\"" + std::to_string(q.tenant_id) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<HealthRollup> RollupBy(const std::vector<QueryHealth>& report,
+                                   int QueryHealth::* tag) {
+  std::map<int, HealthRollup> buckets;  // ordered: output ascending by id
+  std::map<int, std::pair<double, int>> recall;  // id -> (sum, count)
+  for (const QueryHealth& q : report) {
+    const int id = q.*tag;
+    HealthRollup& r = buckets[id];
+    r.id = id;
+    ++r.queries;
+    switch (q.status) {
+      case HealthStatus::kUnknown: ++r.unknown; break;
+      case HealthStatus::kHealthy: ++r.healthy; break;
+      case HealthStatus::kDegraded: ++r.degraded; break;
+      case HealthStatus::kUnhealthy: ++r.unhealthy; break;
+    }
+    if (q.mean_recall >= 0.0) {
+      auto& [sum, count] = recall[id];
+      sum += q.mean_recall;
+      ++count;
+    }
+    r.energy_mj += q.mean_energy_mj;
+    r.max_consecutive_breaches =
+        std::max(r.max_consecutive_breaches, q.consecutive_breaches);
+  }
+  std::vector<HealthRollup> out;
+  out.reserve(buckets.size());
+  for (auto& [id, r] : buckets) {
+    const auto it = recall.find(id);
+    if (it != recall.end() && it->second.second > 0) {
+      r.mean_recall =
+          it->second.first / static_cast<double>(it->second.second);
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string RollupJson(const std::vector<HealthRollup>& rollups) {
+  std::string out = "[";
+  bool first = true;
+  for (const HealthRollup& r : rollups) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"id\": " + std::to_string(r.id);
+    out += ", \"queries\": " + std::to_string(r.queries);
+    out += ", \"unknown\": " + std::to_string(r.unknown);
+    out += ", \"healthy\": " + std::to_string(r.healthy);
+    out += ", \"degraded\": " + std::to_string(r.degraded);
+    out += ", \"unhealthy\": " + std::to_string(r.unhealthy);
+    out += ", \"mean_recall\": " + FormatDouble(r.mean_recall);
+    out += ", \"energy_mj\": " + FormatDouble(r.energy_mj);
+    out += ", \"max_consecutive_breaches\": " +
+           std::to_string(r.max_consecutive_breaches);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::vector<HealthRollup> RollupByTenant(
+    const std::vector<QueryHealth>& report) {
+  return RollupBy(report, &QueryHealth::tenant_id);
+}
+
+std::vector<HealthRollup> RollupByDeployment(
+    const std::vector<QueryHealth>& report) {
+  return RollupBy(report, &QueryHealth::deployment_id);
+}
+
+std::string HealthRollupOpenMetricsBody(
+    const char* label, const std::vector<HealthRollup>& rollups) {
+  std::string out;
+  const std::string prefix = std::string("prospector_") + label + "_";
+  auto family = [&](const char* name) {
+    out += "# TYPE " + prefix + name + " gauge\n";
+  };
+  auto series = [&](const char* name, int id, const std::string& v) {
+    out += prefix + name + "{" + label + "=\"" + std::to_string(id) +
+           "\"} " + v + "\n";
+  };
+  family("queries");
+  for (const HealthRollup& r : rollups) {
+    series("queries", r.id, std::to_string(r.queries));
+  }
+  family("degraded");
+  for (const HealthRollup& r : rollups) {
+    series("degraded", r.id, std::to_string(r.degraded));
+  }
+  family("unhealthy");
+  for (const HealthRollup& r : rollups) {
+    series("unhealthy", r.id, std::to_string(r.unhealthy));
+  }
+  family("recall");
+  for (const HealthRollup& r : rollups) {
+    series("recall", r.id, FormatDouble(r.mean_recall));
+  }
+  family("energy_mj");
+  for (const HealthRollup& r : rollups) {
+    series("energy_mj", r.id, FormatDouble(r.energy_mj));
+  }
+  return out;
+}
+
+std::string FleetHealthJson(const std::vector<QueryHealth>& report) {
+  std::string out = "{\"queries\": " + HealthReportJson(report);
+  out += ", \"tenants\": " + RollupJson(RollupByTenant(report));
+  out += ", \"deployments\": " + RollupJson(RollupByDeployment(report));
+  out += "}";
+  return out;
+}
+
 std::string HealthOpenMetricsBody(const std::vector<QueryHealth>& report) {
   std::string out;
   auto family = [&out](const char* name, const char* type) {
@@ -124,35 +257,35 @@ std::string HealthOpenMetricsBody(const std::vector<QueryHealth>& report) {
     out += type;
     out += "\n";
   };
-  auto series = [&out](const char* name, int query_id, const std::string& v) {
+  auto series = [&out](const char* name, const QueryHealth& q,
+                       const std::string& v) {
     out += "prospector_query_";
     out += name;
-    out += "{query=\"" + std::to_string(query_id) + "\"} " + v + "\n";
+    out += QueryLabels(q) + " " + v + "\n";
   };
   family("health", "gauge");
   for (const QueryHealth& q : report) {
-    series("health", q.query_id,
-           std::to_string(static_cast<int>(q.status)));
+    series("health", q, std::to_string(static_cast<int>(q.status)));
   }
   family("recall", "gauge");
   for (const QueryHealth& q : report) {
-    series("recall", q.query_id, FormatDouble(q.mean_recall));
+    series("recall", q, FormatDouble(q.mean_recall));
   }
   family("energy_mj", "gauge");
   for (const QueryHealth& q : report) {
-    series("energy_mj", q.query_id, FormatDouble(q.mean_energy_mj));
+    series("energy_mj", q, FormatDouble(q.mean_energy_mj));
   }
   family("guard_rejects", "gauge");
   for (const QueryHealth& q : report) {
-    series("guard_rejects", q.query_id, FormatDouble(q.mean_guard_rejects));
+    series("guard_rejects", q, FormatDouble(q.mean_guard_rejects));
   }
   family("recall_residual", "gauge");
   for (const QueryHealth& q : report) {
-    series("recall_residual", q.query_id, FormatDouble(q.recall_residual));
+    series("recall_residual", q, FormatDouble(q.recall_residual));
   }
   family("consecutive_breaches", "gauge");
   for (const QueryHealth& q : report) {
-    series("consecutive_breaches", q.query_id,
+    series("consecutive_breaches", q,
            std::to_string(q.consecutive_breaches));
   }
   return out;
@@ -165,6 +298,8 @@ std::string HealthReportJson(const std::vector<QueryHealth>& report) {
     if (!first) out += ", ";
     first = false;
     out += "{\"query\": " + std::to_string(q.query_id);
+    out += ", \"deployment\": " + std::to_string(q.deployment_id);
+    out += ", \"tenant\": " + std::to_string(q.tenant_id);
     out += ", \"status\": \"";
     out += HealthStatusName(q.status);
     out += "\", \"scored_epochs\": " + std::to_string(q.scored_epochs);

@@ -36,6 +36,11 @@ const char* HealthStatusName(HealthStatus status);
 /// that justify it. Surfaced by QueryEngine::HealthReport().
 struct QueryHealth {
   int query_id = -1;
+  /// Fleet tags (see DESIGN.md, "Fleet service"): which deployment the
+  /// query runs on and which tenant admitted it. -1 = untagged
+  /// (standalone engine / directly-registered query).
+  int deployment_id = -1;
+  int tenant_id = -1;
   HealthStatus status = HealthStatus::kUnknown;
   int scored_epochs = 0;        ///< epochs that carried an armed signal
   int consecutive_breaches = 0;
@@ -85,13 +90,51 @@ class QueryHealthTracker {
   std::deque<double> guard_window_;
 };
 
+/// One aggregation bucket of a fleet health report — all the queries of
+/// one tenant, or all the queries on one deployment. A single scrape of
+/// these rollups covers the whole fleet without per-query cardinality.
+struct HealthRollup {
+  int id = -1;  ///< tenant id or deployment id
+  int queries = 0;
+  /// Query counts by status.
+  int unknown = 0;
+  int healthy = 0;
+  int degraded = 0;
+  int unhealthy = 0;
+  /// Mean of the member queries' windowed mean recalls, over queries that
+  /// have a recall signal (-1 when none do).
+  double mean_recall = -1.0;
+  /// Sum of the member queries' windowed mean energy per epoch, mJ.
+  double energy_mj = 0.0;
+  int max_consecutive_breaches = 0;
+};
+
+/// Aggregates a (fleet) health report by tenant / by deployment, ascending
+/// id. Untagged queries (tag -1) aggregate under id -1.
+std::vector<HealthRollup> RollupByTenant(
+    const std::vector<QueryHealth>& report);
+std::vector<HealthRollup> RollupByDeployment(
+    const std::vector<QueryHealth>& report);
+
 /// Renders a health report as OpenMetrics families (no "# EOF"; append to
 /// an obs::ToOpenMetricsBody() exposition). Status encodes as an integer
-/// gauge: 0 unknown, 1 healthy, 2 degraded, 3 unhealthy.
+/// gauge: 0 unknown, 1 healthy, 2 degraded, 3 unhealthy. Per-query series
+/// carry deployment/tenant labels when tagged (>= 0), so fleet-wide
+/// expositions stay filterable by either dimension.
 std::string HealthOpenMetricsBody(const std::vector<QueryHealth>& report);
+
+/// OpenMetrics families for one rollup dimension (`label` is "tenant" or
+/// "deployment"): prospector_<label>_queries / _unhealthy / _degraded /
+/// _recall / _energy_mj series keyed by the rollup id.
+std::string HealthRollupOpenMetricsBody(const char* label,
+                                        const std::vector<HealthRollup>& r);
 
 /// Compact deterministic JSON array of per-query health objects.
 std::string HealthReportJson(const std::vector<QueryHealth>& report);
+
+/// One fleet-wide scrape: {"queries": HealthReportJson, "tenants": [...],
+/// "deployments": [...]} with per-bucket rollup objects.
+std::string FleetHealthJson(const std::vector<QueryHealth>& report);
 
 }  // namespace core
 }  // namespace prospector

@@ -98,6 +98,8 @@ class PlanManager {
     installed_hits_.Store(new_hits, *ctx.topology, samples);
     UpdatePredictedRecall(samples);
     ChargeInstallCost(*plan_, sim);
+    planned_cost_mj_ =
+        ExpectedTriggerCost(*plan_, *sim) + ExpectedCollectionCost(*plan_, *sim);
     ++disseminations_;
     RememberDecisionInputs(ctx, samples);
     return true;
@@ -111,6 +113,7 @@ class PlanManager {
     installed_hits_.Invalidate();
     last_decision_.Invalidate();
     predicted_recall_ = -1.0;
+    planned_cost_mj_ = 0.0;
   }
 
   /// Feeds an accuracy observation (e.g. proven fraction from a periodic
@@ -134,6 +137,15 @@ class PlanManager {
   /// monitor later measures as realized recall. -1 before the first
   /// install (and after InvalidatePlan).
   double predicted_recall() const { return predicted_recall_; }
+
+  /// Expected per-epoch energy (trigger + collection) of the installed
+  /// plan, captured at install time — what the fleet service meters tenant
+  /// energy quotas against. 0 before the first install.
+  double planned_cost_mj() const { return planned_cost_mj_; }
+
+  /// What the query asked for (the service's quota ledger reads the
+  /// admitted budget back from here).
+  const PlanRequest& request() const { return request_; }
 
  private:
   void UpdatePredictedRecall(const sampling::SampleSet& samples) {
@@ -166,6 +178,7 @@ class PlanManager {
   double last_accuracy_ = 1.0;
   bool boosted_ = false;
   double predicted_recall_ = -1.0;
+  double planned_cost_mj_ = 0.0;
 };
 
 /// Creates a fresh planner per sweep point; planners keep per-Plan() state

@@ -10,33 +10,6 @@
 
 namespace prospector {
 namespace core {
-namespace {
-
-std::unique_ptr<Planner> MakePlanner(const QuerySpec& spec) {
-  switch (spec.planner) {
-    case PlannerChoice::kGreedy:
-      return std::make_unique<GreedyPlanner>();
-    case PlannerChoice::kLpNoFilter:
-      return std::make_unique<LpNoFilterPlanner>(spec.lp);
-    case PlannerChoice::kLpFilter:
-      return std::make_unique<LpFilterPlanner>(spec.lp);
-  }
-  return std::make_unique<LpFilterPlanner>(spec.lp);
-}
-
-}  // namespace
-
-QueryState::QueryState(int id_in, const QuerySpec& spec_in, int num_nodes,
-                       size_t sample_window)
-    : id(id_in),
-      spec(spec_in),
-      samples(sampling::SampleSet::ForTopK(num_nodes, spec_in.k,
-                                           sample_window)),
-      planner(MakePlanner(spec_in)),
-      manager(planner.get(),
-              PlanRequest{spec_in.k, spec_in.energy_budget_mj},
-              spec_in.manager),
-      health(spec_in.slo) {}
 
 QueryEngine::QueryEngine(const net::Topology* topology,
                          net::EnergyModel energy, net::FailureModel failures,
@@ -81,18 +54,29 @@ const QueryState& QueryEngine::At(int id) const {
   return *q;
 }
 
-int QueryEngine::AddQuery(const QuerySpec& spec) {
-  const int id = registry_.Add(spec, topology_->num_nodes(),
-                               options_.sample_window);
-  QueryState* q = registry_.Find(id);
+void QueryEngine::HydrateNewQuery(QueryState* q) {
   // Hydrate the newcomer's window from the sweeps already collected, so
   // it plans from the same evidence the incumbents have.
   for (const std::vector<double>& collected : history_) {
     q->samples.Add(collected);
   }
   PROSPECTOR_COUNTER_ADD("engine.queries_admitted", 1);
-  PROSPECTOR_FLIGHT(kNote, "engine.admit", id, spec.k,
-                    spec.energy_budget_mj);
+  PROSPECTOR_FLIGHT(kNote, "engine.admit", q->id, q->spec.k,
+                    q->spec.energy_budget_mj);
+}
+
+int QueryEngine::AddQuery(const QuerySpec& spec) {
+  const int id = registry_.Add(spec, topology_->num_nodes(),
+                               options_.sample_window);
+  HydrateNewQuery(registry_.Find(id));
+  return id;
+}
+
+Result<int> QueryEngine::AddQueryWithId(int id, const QuerySpec& spec) {
+  auto added = registry_.AddWithId(id, spec, topology_->num_nodes(),
+                                   options_.sample_window);
+  if (!added.ok()) return added.status();
+  HydrateNewQuery(registry_.Find(id));
   return id;
 }
 
@@ -219,7 +203,7 @@ Result<bool> QueryEngine::MaybeHeal(TickResult* result) {
   }
   orig_of_ = std::move(new_orig);
   silent_.assign(new_n, 0);
-  for (auto& q : registry_.entries()) {
+  for (QueryState* q : registry_.ordered()) {
     q->samples = q->samples.Remapped(new_id, new_n);
   }
   for (std::vector<double>& collected : history_) {
@@ -273,9 +257,9 @@ Result<bool> QueryEngine::MaybeHeal(TickResult* result) {
 
   // Installed plans index nodes that no longer exist; replace every one
   // unconditionally on the surviving topology.
-  for (auto& q : registry_.entries()) {
+  for (QueryState* q : registry_.ordered()) {
     q->manager.InvalidatePlan();
-    auto changed = ReplanQuery(q.get());
+    auto changed = ReplanQuery(q);
     if (!changed.ok()) return changed.status();
     for (QueryTickResult& qr : result->per_query) {
       if (qr.query_id == q->id && *changed) qr.replanned = true;
@@ -290,18 +274,23 @@ Result<bool> QueryEngine::MaybeHeal(TickResult* result) {
 
 std::vector<QueryHealth> QueryEngine::HealthReport() const {
   std::vector<QueryHealth> out;
-  out.reserve(registry_.entries().size());
-  for (const auto& q : registry_.entries()) {
+  out.reserve(registry_.ordered().size());
+  for (const QueryState* q : registry_.ordered()) {
     QueryHealth h = q->health.health();
     h.query_id = q->id;
+    h.tenant_id = q->spec.tenant_id;
+    h.deployment_id = options_.deployment_id;
     out.push_back(std::move(h));
   }
   return out;
 }
 
 QueryHealth QueryEngine::query_health(int id) const {
-  QueryHealth h = At(id).health.health();
+  const QueryState& q = At(id);
+  QueryHealth h = q.health.health();
   h.query_id = id;
+  h.tenant_id = q.spec.tenant_id;
+  h.deployment_id = options_.deployment_id;
   return h;
 }
 
@@ -318,10 +307,10 @@ void QueryEngine::UpdateHealth(TickResult* result) {
       static_cast<double>(rejects - guard_rejects_prev_);
   guard_rejects_prev_ = rejects;
 
-  auto& queries = registry_.entries();
+  const std::vector<QueryState*>& queries = registry_.ordered();
   for (size_t i = 0; i < queries.size() && i < result->per_query.size();
        ++i) {
-    QueryState* q = queries[i].get();
+    QueryState* q = queries[i];
     QueryTickResult& qr = result->per_query[i];
     QueryHealthTracker::EpochSignals sig;
     sig.recall = qr.recall;
@@ -397,7 +386,7 @@ Result<QueryEngine::TickResult> QueryEngine::Tick(
   if (guarding_) guard_.StartEpoch(this_epoch);
   if (injecting_) injector_.AdvanceTo(this_epoch);
 
-  auto& queries = registry_.entries();
+  const std::vector<QueryState*>& queries = registry_.ordered();
   if (queries.empty()) {
     result.kind = EpochKind::kIdle;
     FinishTick(result);
@@ -466,7 +455,7 @@ Result<QueryEngine::TickResult> QueryEngine::Tick(
     // already replanned on the new tree).
     if (!result.rebuilt && this_epoch + 1 >= options_.bootstrap_sweeps) {
       for (size_t i = 0; i < queries.size(); ++i) {
-        auto changed = ReplanQuery(queries[i].get());
+        auto changed = ReplanQuery(queries[i]);
         if (!changed.ok()) return changed.status();
         result.per_query[i].replanned = *changed;
       }
@@ -485,7 +474,7 @@ Result<QueryEngine::TickResult> QueryEngine::Tick(
   result.kind = EpochKind::kQuery;
   for (size_t i = 0; i < queries.size(); ++i) {
     if (!queries[i]->manager.has_plan()) {
-      auto changed = ReplanQuery(queries[i].get());
+      auto changed = ReplanQuery(queries[i]);
       if (!changed.ok()) return changed.status();
       result.per_query[i].replanned = *changed;
     }
@@ -496,7 +485,7 @@ Result<QueryEngine::TickResult> QueryEngine::Tick(
   // superplan below.
   std::vector<size_t> sharers;
   for (size_t i = 0; i < queries.size(); ++i) {
-    QueryState* q = queries[i].get();
+    QueryState* q = queries[i];
     QueryTickResult& qr = result.per_query[i];
     if (q->spec.audit_every > 0 &&
         ++q->queries_since_audit >= q->spec.audit_every) {
@@ -555,7 +544,7 @@ Result<QueryEngine::TickResult> QueryEngine::Tick(
     query_energy_ += sr.total_energy_mj();
     for (size_t s = 0; s < sharers.size(); ++s) {
       const size_t i = sharers[s];
-      QueryState* q = queries[i].get();
+      QueryState* q = queries[i];
       QueryTickResult& qr = result.per_query[i];
       qr.kind = QueryEpochKind::kQuery;
       qr.answer = std::move(sr.per_query[s].answer);

@@ -6,12 +6,10 @@
 #include <vector>
 
 #include "src/core/exact.h"
-#include "src/core/greedy_planner.h"
 #include "src/core/health.h"
-#include "src/core/lp_filter_planner.h"
-#include "src/core/lp_no_filter_planner.h"
 #include "src/core/plan_manager.h"
 #include "src/core/plan_merge.h"
+#include "src/core/query_registry.h"
 #include "src/core/workspace.h"
 #include "src/net/fault_injector.h"
 #include "src/net/rebuild.h"
@@ -21,27 +19,6 @@
 
 namespace prospector {
 namespace core {
-
-/// Which PROSPECTOR algorithm plans a query.
-enum class PlannerChoice { kGreedy, kLpNoFilter, kLpFilter };
-
-/// What one registered query asks for. Everything here is per query; the
-/// deployment-wide knobs (sample window, bootstrap, faults, watchdog)
-/// live in QueryEngineOptions.
-struct QuerySpec {
-  int k = 10;
-  double energy_budget_mj = 10.0;
-  PlannerChoice planner = PlannerChoice::kLpFilter;
-  LpPlannerOptions lp;
-  PlanManagerOptions manager;
-  /// Every `audit_every` query epochs, run a proof-carrying exact query to
-  /// measure true accuracy and drive re-sampling; 0 disables audits.
-  int audit_every = 0;
-  /// Phase-1 budget of an audit, as a multiple of the proof floor.
-  double audit_budget_factor = 1.15;
-  /// Service-level objectives this query's health is scored against.
-  HealthSlo slo;
-};
 
 /// Deployment-wide configuration shared by every registered query.
 struct QueryEngineOptions {
@@ -74,91 +51,10 @@ struct QueryEngineOptions {
   int dead_after_epochs = 0;
   /// Radio range for the rebuild's minimum-hop re-tree.
   double rebuild_radio_range = 0.0;
-};
-
-/// Everything the engine keeps per admitted query: its spec, its own
-/// sample window (contribution rows depend on the query's k, so windows
-/// cannot be shared even though the underlying sweeps are), its planner
-/// and re-planning policy, and its energy ledger (attributed shares of
-/// the shared radio cost — see DESIGN.md, "Multi-query engine").
-struct QueryState {
-  QueryState(int id, const QuerySpec& spec, int num_nodes,
-             size_t sample_window);
-
-  int id;
-  QuerySpec spec;
-  sampling::SampleSet samples;
-  std::unique_ptr<Planner> planner;
-  PlanManager manager;
-
-  int queries_since_audit = 0;
-  double last_replan_latency_ms = 0.0;
-  /// Rolling-window SLO scorer fed once per tick (see DESIGN.md, "Flight
-  /// recorder & health model").
-  QueryHealthTracker health;
-
-  /// Attributed energy by activity, mJ. Shared epochs (sweeps, merged
-  /// superplans) are split across the queries aboard, so summing these
-  /// over all queries reproduces the engine's audited totals.
-  double query_energy_mj = 0.0;
-  double sampling_energy_mj = 0.0;
-  double audit_energy_mj = 0.0;
-  double install_energy_mj = 0.0;
-  double total_energy_mj() const {
-    return query_energy_mj + sampling_energy_mj + audit_energy_mj +
-           install_energy_mj;
-  }
-};
-
-/// The admission/retirement layer: owns the QueryStates and hands out
-/// stable, never-reused query ids.
-class QueryRegistry {
- public:
-  int Add(const QuerySpec& spec, int num_nodes, size_t sample_window) {
-    const int id = next_id_++;
-    queries_.push_back(
-        std::make_unique<QueryState>(id, spec, num_nodes, sample_window));
-    return id;
-  }
-
-  /// Retires a query. Returns false for an unknown id.
-  bool Remove(int id) {
-    for (size_t i = 0; i < queries_.size(); ++i) {
-      if (queries_[i]->id == id) {
-        queries_.erase(queries_.begin() + static_cast<long>(i));
-        return true;
-      }
-    }
-    return false;
-  }
-
-  QueryState* Find(int id) {
-    for (auto& q : queries_) {
-      if (q->id == id) return q.get();
-    }
-    return nullptr;
-  }
-  const QueryState* Find(int id) const {
-    return const_cast<QueryRegistry*>(this)->Find(id);
-  }
-
-  int size() const { return static_cast<int>(queries_.size()); }
-  std::vector<int> ids() const {
-    std::vector<int> out;
-    out.reserve(queries_.size());
-    for (const auto& q : queries_) out.push_back(q->id);
-    return out;
-  }
-
-  /// Admission order (== ascending id), the engine's iteration order.
-  std::vector<std::unique_ptr<QueryState>>& entries() { return queries_; }
-  const std::vector<std::unique_ptr<QueryState>>& entries() const {
-    return queries_;
-  }
-
- private:
-  std::vector<std::unique_ptr<QueryState>> queries_;
-  int next_id_ = 0;
+  /// Fleet tag stamped onto health reports (and fleet rollups) when this
+  /// engine is one deployment among many behind a service::FleetService;
+  /// -1 for standalone engines.
+  int deployment_id = -1;
 };
 
 /// Multi-query top-k engine over one deployed network (see DESIGN.md,
@@ -226,6 +122,11 @@ class QueryEngine {
   /// sample window is hydrated from the sweeps the engine has already
   /// collected, so it can plan immediately.
   int AddQuery(const QuerySpec& spec);
+  /// Admits a standing query under an externally supplied id (the fleet
+  /// service allocates globally unique ids across deployments). Fails if
+  /// the id was ever used on this engine — ids never alias, so a retired
+  /// query's attribution pools and health windows cannot be revived.
+  Result<int> AddQueryWithId(int id, const QuerySpec& spec);
   /// Retires a query. Its attributed energy stays in the engine totals.
   bool RemoveQuery(int id);
   int num_queries() const { return registry_.size(); }
@@ -287,6 +188,7 @@ class QueryEngine {
 
  private:
   const QueryState& At(int id) const;
+  void HydrateNewQuery(QueryState* q);
   PlannerContext CtxFor(int lease) const;
   TransportGuard* guard() { return guarding_ ? &guard_ : nullptr; }
   /// Drains the simulator's ledger into `radio_totals_` (every phase ends

@@ -1,0 +1,165 @@
+#ifndef PROSPECTOR_CORE_QUERY_REGISTRY_H_
+#define PROSPECTOR_CORE_QUERY_REGISTRY_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/health.h"
+#include "src/core/lp_no_filter_planner.h"
+#include "src/core/plan_manager.h"
+#include "src/sampling/sample_set.h"
+#include "src/util/status.h"
+
+namespace prospector {
+namespace core {
+
+/// Which PROSPECTOR algorithm plans a query.
+enum class PlannerChoice { kGreedy, kLpNoFilter, kLpFilter };
+
+/// What one registered query asks for. Everything here is per query; the
+/// deployment-wide knobs (sample window, bootstrap, faults, watchdog)
+/// live in QueryEngineOptions.
+struct QuerySpec {
+  int k = 10;
+  double energy_budget_mj = 10.0;
+  PlannerChoice planner = PlannerChoice::kLpFilter;
+  LpPlannerOptions lp;
+  PlanManagerOptions manager;
+  /// Every `audit_every` query epochs, run a proof-carrying exact query to
+  /// measure true accuracy and drive re-sampling; 0 disables audits.
+  int audit_every = 0;
+  /// Phase-1 budget of an audit, as a multiple of the proof floor.
+  double audit_budget_factor = 1.15;
+  /// Service-level objectives this query's health is scored against.
+  HealthSlo slo;
+  /// Owning tenant when the query was admitted through the fleet service;
+  /// -1 for directly-registered queries. Tags health reports and fleet
+  /// rollups (see DESIGN.md, "Fleet service").
+  int tenant_id = -1;
+};
+
+/// Everything the engine keeps per admitted query: its spec, its own
+/// sample window (contribution rows depend on the query's k, so windows
+/// cannot be shared even though the underlying sweeps are), its planner
+/// and re-planning policy, and its energy ledger (attributed shares of
+/// the shared radio cost — see DESIGN.md, "Multi-query engine").
+struct QueryState {
+  QueryState(int id, const QuerySpec& spec, int num_nodes,
+             size_t sample_window);
+
+  int id;
+  QuerySpec spec;
+  sampling::SampleSet samples;
+  std::unique_ptr<Planner> planner;
+  PlanManager manager;
+
+  int queries_since_audit = 0;
+  double last_replan_latency_ms = 0.0;
+  /// Rolling-window SLO scorer fed once per tick (see DESIGN.md, "Flight
+  /// recorder & health model").
+  QueryHealthTracker health;
+
+  /// Attributed energy by activity, mJ. Shared epochs (sweeps, merged
+  /// superplans) are split across the queries aboard, so summing these
+  /// over all queries reproduces the engine's audited totals.
+  double query_energy_mj = 0.0;
+  double sampling_energy_mj = 0.0;
+  double audit_energy_mj = 0.0;
+  double install_energy_mj = 0.0;
+  double total_energy_mj() const {
+    return query_energy_mj + sampling_energy_mj + audit_energy_mj +
+           install_energy_mj;
+  }
+};
+
+/// The admission/retirement layer: owns the QueryStates and guarantees
+/// ids are never reused.
+///
+/// The registry is sharded: a power-of-two shard count, shard(id) =
+/// id & mask, one mutex per shard. Admit/retire/find touch exactly one
+/// shard, so they are O(1) and safe from concurrent callers operating on
+/// distinct ids (e.g. a ParallelFor admitting a batch) — the workload the
+/// fleet service puts on it at thousands of standing queries.
+///
+/// Iteration order is ascending query id, never admission wall-clock
+/// order, so the engine's per-epoch walk is deterministic no matter which
+/// thread admitted which query. ordered() returns a cached snapshot that
+/// is rebuilt after any admit/retire; it must not be called concurrently
+/// with mutation (the engine only iterates from its serial tick path).
+class QueryRegistry {
+ public:
+  static constexpr int kDefaultShards = 16;
+
+  /// `shards` is rounded up to the next power of two, minimum 1.
+  explicit QueryRegistry(int shards = kDefaultShards);
+
+  QueryRegistry(const QueryRegistry&) = delete;
+  QueryRegistry& operator=(const QueryRegistry&) = delete;
+
+  /// Admits with a registry-allocated id (the next unused integer).
+  int Add(const QuerySpec& spec, int num_nodes, size_t sample_window);
+
+  /// Admits under an externally supplied id — the fleet service owns
+  /// global id allocation across deployments. Fails (and admits nothing)
+  /// if the id was ever admitted to this registry before, live or
+  /// retired: ids never alias, so attribution pools and health windows
+  /// of a retired query can never be revived by a newcomer.
+  Result<int> AddWithId(int id, const QuerySpec& spec, int num_nodes,
+                        size_t sample_window);
+
+  /// Retires a query. Returns false for an unknown id. The id stays
+  /// burned: re-admitting it is an error forever.
+  bool Remove(int id);
+
+  QueryState* Find(int id);
+  const QueryState* Find(int id) const;
+
+  int size() const { return count_.load(std::memory_order_acquire); }
+  /// Live ids, ascending.
+  std::vector<int> ids() const;
+
+  /// Live queries in ascending-id order — the engine's iteration order.
+  /// The reference is valid until the next admit/retire. Not safe to call
+  /// concurrently with mutation.
+  const std::vector<QueryState*>& ordered() const;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  /// High-water mark: no id >= this has ever been issued.
+  int next_id() const { return next_id_.load(std::memory_order_acquire); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<int, std::unique_ptr<QueryState>> live;
+    /// Every id ever admitted to this shard (live or retired).
+    std::unordered_set<int> used;
+  };
+
+  Shard& ShardFor(int id) {
+    return *shards_[static_cast<size_t>(id) & mask_];
+  }
+  const Shard& ShardFor(int id) const {
+    return *shards_[static_cast<size_t>(id) & mask_];
+  }
+  /// Raises next_id_ to at least `floor` (CAS max).
+  void RaiseNextId(int floor);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t mask_;
+  std::atomic<int> next_id_{0};
+  std::atomic<int> count_{0};
+
+  /// Ascending-id iteration snapshot, rebuilt lazily after mutation.
+  mutable std::mutex order_mu_;
+  mutable std::atomic<bool> order_dirty_{true};
+  mutable std::vector<QueryState*> order_;
+};
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_QUERY_REGISTRY_H_

@@ -1,0 +1,85 @@
+#include "src/service/api.h"
+
+#include <cstdio>
+
+namespace prospector {
+namespace service {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* AdmitRejectName(AdmitReject reject) {
+  switch (reject) {
+    case AdmitReject::kNone:
+      return "none";
+    case AdmitReject::kUnknownDeployment:
+      return "unknown_deployment";
+    case AdmitReject::kInvalidSpec:
+      return "invalid_spec";
+    case AdmitReject::kTenantQueryQuota:
+      return "tenant_query_quota";
+    case AdmitReject::kTenantEnergyQuota:
+      return "tenant_energy_quota";
+    case AdmitReject::kQueueFull:
+      return "queue_full";
+  }
+  return "unknown";
+}
+
+std::string FleetStatusJson(const FleetStatus& s) {
+  std::string out = "{";
+  out += "\"epoch\": " + std::to_string(s.epoch);
+  out += ", \"deployments\": " + std::to_string(s.deployments);
+  out += ", \"standing_queries\": " + std::to_string(s.standing_queries);
+  out += ", \"pending_requests\": " + std::to_string(s.pending_requests);
+  out += ", \"admits\": " + std::to_string(s.admits);
+  out += ", \"retires\": " + std::to_string(s.retires);
+  out += ", \"rejects\": " + std::to_string(s.rejects);
+  out += ", \"rejects_by_kind\": {";
+  bool first = true;
+  for (int i = 0; i < kAdmitRejectKinds; ++i) {
+    if (i == static_cast<int>(AdmitReject::kNone)) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += std::string("\"") + AdmitRejectName(static_cast<AdmitReject>(i)) +
+           "\": " + std::to_string(s.rejects_by_kind[static_cast<size_t>(i)]);
+  }
+  out += "}";
+  out += ", \"total_energy_mj\": " + FormatDouble(s.total_energy_mj);
+  out += ", \"per_deployment\": [";
+  first = true;
+  for (const DeploymentStatus& d : s.per_deployment) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"deployment\": " + std::to_string(d.deployment_id);
+    out += ", \"nodes\": " + std::to_string(d.num_nodes);
+    out += ", \"standing_queries\": " + std::to_string(d.standing_queries);
+    out += ", \"epoch\": " + std::to_string(d.epoch);
+    out += ", \"rebuilds\": " + std::to_string(d.rebuilds);
+    out += ", \"total_energy_mj\": " + FormatDouble(d.total_energy_mj) + "}";
+  }
+  out += "], \"per_tenant\": [";
+  first = true;
+  for (const TenantStatus& t : s.per_tenant) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"tenant\": " + std::to_string(t.tenant_id);
+    out += ", \"standing_queries\": " + std::to_string(t.standing_queries);
+    out += ", \"admitted_budget_mj\": " + FormatDouble(t.admitted_budget_mj);
+    out += ", \"admits\": " + std::to_string(t.admits);
+    out += ", \"rejects\": " + std::to_string(t.rejects);
+    out += ", \"attributed_energy_mj\": " +
+           FormatDouble(t.attributed_energy_mj) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace service
+}  // namespace prospector

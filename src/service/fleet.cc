@@ -1,0 +1,405 @@
+#include "src/service/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/obs.h"
+
+namespace prospector {
+namespace service {
+namespace {
+
+size_t RoundUpPowerOfTwo(int n) {
+  size_t v = 1;
+  while (v < static_cast<size_t>(std::max(1, n))) v <<= 1;
+  return v;
+}
+
+/// Splitmix-style finalizer: decorrelates a deployment's truth stream
+/// from its engine stream without asking callers for two seeds.
+uint64_t TruthSeed(uint64_t seed) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FleetService::FleetService(FleetOptions options)
+    : options_(options),
+      pool_(std::max(1, options.scheduler_threads)),
+      quota_(options.default_quota) {
+  const size_t shards = RoundUpPowerOfTwo(options.index_shards);
+  index_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    index_.push_back(std::make_unique<IndexShard>());
+  }
+  index_mask_ = shards - 1;
+}
+
+void FleetService::SetTenantQuota(int tenant_id, TenantQuota quota) {
+  quota_.SetQuota(tenant_id, quota);
+}
+
+int FleetService::AddDeployment(const net::Topology* topology,
+                                net::EnergyModel energy,
+                                net::FailureModel failures,
+                                core::QueryEngineOptions options, TruthFn truth,
+                                uint64_t seed) {
+  const int id = static_cast<int>(deployments_.size());
+  options.deployment_id = id;
+  auto engine = std::make_unique<core::QueryEngine>(topology, energy, failures,
+                                                    options, seed);
+  deployments_.push_back(std::make_unique<Deployment>(
+      id, std::move(engine), std::move(truth), TruthSeed(seed)));
+  PROSPECTOR_COUNTER_ADD("service.deployments", 1);
+  return id;
+}
+
+FleetService::QueryRecord* FleetService::FindRecord(int query_id) {
+  if (query_id < 0) return nullptr;
+  IndexShard& shard = ShardFor(query_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.records.find(query_id);
+  // Records are never erased, so the pointer stays valid after unlock.
+  return it != shard.records.end() ? it->second.get() : nullptr;
+}
+
+const FleetService::QueryRecord* FleetService::FindRecord(int query_id) const {
+  return const_cast<FleetService*>(this)->FindRecord(query_id);
+}
+
+void FleetService::CountReject(int tenant_id, AdmitReject reject) {
+  rejects_by_kind_[static_cast<size_t>(reject)].fetch_add(
+      1, std::memory_order_relaxed);
+  switch (reject) {
+    case AdmitReject::kNone:
+      break;
+    case AdmitReject::kUnknownDeployment:
+      PROSPECTOR_COUNTER_ADD("service.rejects.unknown_deployment", 1);
+      break;
+    case AdmitReject::kInvalidSpec:
+      PROSPECTOR_COUNTER_ADD("service.rejects.invalid_spec", 1);
+      break;
+    case AdmitReject::kTenantQueryQuota:
+      PROSPECTOR_COUNTER_ADD("service.rejects.tenant_query_quota", 1);
+      break;
+    case AdmitReject::kTenantEnergyQuota:
+      PROSPECTOR_COUNTER_ADD("service.rejects.tenant_energy_quota", 1);
+      break;
+    case AdmitReject::kQueueFull:
+      PROSPECTOR_COUNTER_ADD("service.rejects.queue_full", 1);
+      break;
+  }
+  PROSPECTOR_FLIGHT(kNote, "service.reject", -1, tenant_id,
+                    static_cast<int>(reject));
+}
+
+AdmitQueryResponse FleetService::Admit(const AdmitQueryRequest& request) {
+  AdmitQueryResponse resp;
+  if (request.deployment_id < 0 ||
+      request.deployment_id >= num_deployments()) {
+    resp.reject = AdmitReject::kUnknownDeployment;
+    resp.message = "no deployment with id " +
+                   std::to_string(request.deployment_id) + " (fleet has " +
+                   std::to_string(num_deployments()) + ")";
+    CountReject(request.tenant_id, resp.reject);
+    return resp;
+  }
+  if (request.spec.k <= 0 || request.spec.energy_budget_mj <= 0.0) {
+    resp.reject = AdmitReject::kInvalidSpec;
+    resp.message = "spec needs k >= 1 and a positive energy budget";
+    CountReject(request.tenant_id, resp.reject);
+    return resp;
+  }
+
+  // Reserve quota before allocating an id: a rejected admission must
+  // leave no trace beyond its reject counters.
+  const AdmitReject reserved = quota_.Reserve(
+      request.tenant_id, request.spec.energy_budget_mj, &resp.message);
+  if (reserved != AdmitReject::kNone) {
+    resp.reject = reserved;
+    CountReject(request.tenant_id, reserved);
+    return resp;
+  }
+
+  auto record = std::make_unique<QueryRecord>();
+  record->deployment_id = request.deployment_id;
+  record->tenant_id = request.tenant_id;
+  record->budget_mj = request.spec.energy_budget_mj;
+  record->spec = request.spec;
+  record->spec.tenant_id = request.tenant_id;
+
+  {
+    // Capacity check, record insertion, and enqueue are one critical
+    // section, so a queued admit always has its record and the pending
+    // cap is exact under concurrent admission.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (options_.max_pending_requests > 0 &&
+        queue_.size() >= options_.max_pending_requests) {
+      quota_.Release(request.tenant_id, request.spec.energy_budget_mj);
+      resp.reject = AdmitReject::kQueueFull;
+      resp.message = "admission queue at capacity (" +
+                     std::to_string(options_.max_pending_requests) +
+                     " pending requests)";
+      CountReject(request.tenant_id, resp.reject);
+      return resp;
+    }
+    const int id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+    record->query_id = id;
+    resp.query_id = id;
+    {
+      IndexShard& shard = ShardFor(id);
+      std::lock_guard<std::mutex> shard_lock(shard.mu);
+      shard.records.emplace(id, std::move(record));
+    }
+    queue_.push_back({PendingRequest::kAdmit, resp.query_id});
+    PROSPECTOR_GAUGE_SET("service.pending_requests",
+                         static_cast<double>(queue_.size()));
+  }
+
+  admits_.fetch_add(1, std::memory_order_relaxed);
+  PROSPECTOR_COUNTER_ADD("service.admits", 1);
+  PROSPECTOR_FLIGHT(kNote, "service.admit", resp.query_id,
+                    request.deployment_id, request.tenant_id);
+  resp.admitted = true;
+  return resp;
+}
+
+RetireQueryResponse FleetService::Retire(const RetireQueryRequest& request) {
+  RetireQueryResponse resp;
+  QueryRecord* record = FindRecord(request.query_id);
+  if (record == nullptr) {
+    resp.message = "unknown query id " + std::to_string(request.query_id);
+    return resp;
+  }
+  {
+    std::lock_guard<std::mutex> lock(record->mu);
+    if (request.tenant_id >= 0 && request.tenant_id != record->tenant_id) {
+      resp.message = "query " + std::to_string(request.query_id) +
+                     " belongs to tenant " +
+                     std::to_string(record->tenant_id);
+      return resp;
+    }
+    if (record->phase == QueryPhase::kRetireQueued ||
+        record->phase == QueryPhase::kRetired) {
+      resp.message = "query " + std::to_string(request.query_id) +
+                     " already retired";
+      return resp;
+    }
+    record->phase = QueryPhase::kRetireQueued;
+  }
+  {
+    // Retirements bypass the admission cap — they shrink the fleet.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back({PendingRequest::kRetire, request.query_id});
+  }
+  PROSPECTOR_COUNTER_ADD("service.retire_requests", 1);
+  PROSPECTOR_FLIGHT(kNote, "service.retire", request.query_id,
+                    record->deployment_id, record->tenant_id);
+  resp.retired = true;
+  resp.message = "retires at the next epoch boundary";
+  return resp;
+}
+
+PollAnswersResponse FleetService::Poll(const PollAnswersRequest& request) {
+  PollAnswersResponse resp;
+  QueryRecord* record = FindRecord(request.query_id);
+  if (record == nullptr) return resp;
+  std::lock_guard<std::mutex> lock(record->mu);
+  resp.known_query = true;
+  resp.active = record->phase != QueryPhase::kRetired;
+  resp.dropped = record->dropped;
+  record->dropped = 0;
+  size_t take = record->ring.size();
+  if (request.max_answers > 0) {
+    take = std::min(take, static_cast<size_t>(request.max_answers));
+  }
+  resp.answers.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    resp.answers.push_back(std::move(record->ring.front()));
+    record->ring.pop_front();
+  }
+  return resp;
+}
+
+void FleetService::ApplyPending(FleetEpochReport* report) {
+  std::deque<PendingRequest> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    batch.swap(queue_);
+    PROSPECTOR_GAUGE_SET("service.pending_requests", 0.0);
+  }
+  for (const PendingRequest& req : batch) {
+    QueryRecord* record = FindRecord(req.query_id);
+    if (record == nullptr) continue;  // unreachable: records never erase
+    std::lock_guard<std::mutex> lock(record->mu);
+    Deployment& dep = *deployments_[static_cast<size_t>(record->deployment_id)];
+    if (req.kind == PendingRequest::kAdmit) {
+      auto added = dep.engine->AddQueryWithId(req.query_id, record->spec);
+      if (!added.ok()) {
+        // Cannot happen (fleet ids are unique), but fail the query loudly
+        // rather than strand its reservation.
+        record->phase = QueryPhase::kRetired;
+        quota_.Release(record->tenant_id, record->budget_mj);
+        PROSPECTOR_COUNTER_ADD("service.admit_apply_failures", 1);
+        continue;
+      }
+      // A retire queued behind this admit keeps the kRetireQueued phase;
+      // it applies later in this same batch.
+      if (record->phase == QueryPhase::kPending) {
+        record->phase = QueryPhase::kActive;
+      }
+      ++report->applied_admits;
+    } else {
+      if (record->phase != QueryPhase::kRetireQueued) continue;
+      dep.engine->RemoveQuery(req.query_id);
+      record->phase = QueryPhase::kRetired;
+      quota_.Release(record->tenant_id, record->budget_mj);
+      retires_.fetch_add(1, std::memory_order_relaxed);
+      PROSPECTOR_COUNTER_ADD("service.retires", 1);
+      ++report->applied_retires;
+    }
+  }
+}
+
+Result<FleetEpochReport> FleetService::RunEpoch() {
+  const long long epoch = epoch_.fetch_add(1, std::memory_order_acq_rel);
+  FleetEpochReport report;
+  report.epoch = epoch;
+  ApplyPending(&report);
+
+  using TickResult = core::QueryEngine::TickResult;
+  const int n = num_deployments();
+  std::vector<Result<TickResult>> ticks(
+      static_cast<size_t>(n),
+      Result<TickResult>(Status::Internal("not ticked")));
+  auto tick_range = [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      Deployment& dep = *deployments_[static_cast<size_t>(i)];
+      ticks[static_cast<size_t>(i)] = dep.engine->Tick(dep.truth(&dep.truth_rng));
+    }
+  };
+  // Deployments share no mutable state, so batching them across the pool
+  // is bit-identical to the serial loop (see DESIGN.md, "Fleet service").
+  if (pool_.num_threads() > 1) {
+    pool_.ParallelFor(n, tick_range);
+  } else {
+    tick_range(0, n);
+  }
+
+  // Serial demux in deployment order: answers into poll rings, realized
+  // energy onto tenant meters.
+  for (int i = 0; i < n; ++i) {
+    Result<TickResult>& tick = ticks[static_cast<size_t>(i)];
+    if (!tick.ok()) {
+      return Status::Internal("deployment " + std::to_string(i) +
+                              " failed at fleet epoch " +
+                              std::to_string(epoch) + ": " +
+                              tick.status().ToString());
+    }
+    const TickResult& result = tick.value();
+    report.energy_mj += result.energy_mj;
+    if (result.degraded) ++report.degraded_deployments;
+    if (result.rebuilt) ++report.rebuilt_deployments;
+    for (const auto& qr : result.per_query) {
+      QueryRecord* record = FindRecord(qr.query_id);
+      if (record == nullptr) continue;  // directly-registered query
+      quota_.MeterEnergy(record->tenant_id, qr.energy_mj);
+      if (qr.kind != core::QueryEngine::QueryEpochKind::kQuery &&
+          qr.kind != core::QueryEngine::QueryEpochKind::kAudit) {
+        continue;  // bootstrap/explore epochs carry no answer
+      }
+      std::lock_guard<std::mutex> lock(record->mu);
+      if (options_.answer_ring_capacity > 0 &&
+          record->ring.size() >= options_.answer_ring_capacity) {
+        record->ring.pop_front();
+        ++record->dropped;
+      }
+      AnswerRecord answer;
+      answer.epoch = epoch;
+      answer.kind = qr.kind;
+      answer.answer = qr.answer;
+      answer.recall = qr.recall;
+      answer.energy_mj = qr.energy_mj;
+      answer.health = qr.health;
+      record->ring.push_back(std::move(answer));
+    }
+  }
+
+  PROSPECTOR_COUNTER_ADD("service.epochs", 1);
+  PROSPECTOR_FLIGHT(kNote, "service.epoch", -1,
+                    report.applied_admits + report.applied_retires,
+                    report.energy_mj);
+  return report;
+}
+
+Result<FleetEpochReport> FleetService::RunEpochs(int n) {
+  if (n <= 0) return Status::InvalidArgument("RunEpochs needs n >= 1");
+  FleetEpochReport last;
+  for (int i = 0; i < n; ++i) {
+    auto report = RunEpoch();
+    if (!report.ok()) return report.status();
+    last = *report;
+  }
+  return last;
+}
+
+FleetStatus FleetService::Snapshot() const {
+  FleetStatus s;
+  s.epoch = epoch_.load(std::memory_order_acquire);
+  s.deployments = num_deployments();
+  s.admits = admits_.load(std::memory_order_relaxed);
+  s.retires = retires_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kAdmitRejectKinds; ++i) {
+    const long long r =
+        rejects_by_kind_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    s.rejects_by_kind[static_cast<size_t>(i)] = r;
+    if (i != static_cast<int>(AdmitReject::kNone)) s.rejects += r;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    s.pending_requests = static_cast<int>(queue_.size());
+  }
+  s.per_deployment.reserve(deployments_.size());
+  for (const auto& dep : deployments_) {
+    DeploymentStatus d;
+    d.deployment_id = dep->id;
+    d.num_nodes = dep->engine->topology().num_nodes();
+    d.standing_queries = dep->engine->num_queries();
+    d.epoch = dep->engine->epoch();
+    d.rebuilds = dep->engine->rebuilds();
+    d.total_energy_mj = dep->engine->total_energy_mj();
+    s.standing_queries += d.standing_queries;
+    s.total_energy_mj += d.total_energy_mj;
+    s.per_deployment.push_back(d);
+  }
+  for (const auto& [tenant_id, usage] : quota_.AllUsage()) {
+    TenantStatus t;
+    t.tenant_id = tenant_id;
+    t.standing_queries = usage.standing;
+    t.admitted_budget_mj = usage.budget_mj;
+    t.admits = usage.admits;
+    t.rejects = usage.rejects;
+    t.attributed_energy_mj = usage.energy_mj;
+    s.per_tenant.push_back(t);
+  }
+  return s;
+}
+
+std::vector<core::QueryHealth> FleetService::HealthReport() const {
+  std::vector<core::QueryHealth> out;
+  for (const auto& dep : deployments_) {
+    std::vector<core::QueryHealth> report = dep->engine->HealthReport();
+    out.insert(out.end(), report.begin(), report.end());
+  }
+  return out;
+}
+
+const core::QueryEngine& FleetService::deployment(int deployment_id) const {
+  return *deployments_.at(static_cast<size_t>(deployment_id))->engine;
+}
+
+}  // namespace service
+}  // namespace prospector

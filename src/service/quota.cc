@@ -1,0 +1,75 @@
+#include "src/service/quota.h"
+
+namespace prospector {
+namespace service {
+
+void QuotaLedger::SetQuota(int tenant_id, TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  quotas_[tenant_id] = quota;
+}
+
+TenantQuota QuotaLedger::QuotaFor(int tenant_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = quotas_.find(tenant_id);
+  return it != quotas_.end() ? it->second : default_;
+}
+
+AdmitReject QuotaLedger::Reserve(int tenant_id, double budget_mj,
+                                 std::string* message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto qit = quotas_.find(tenant_id);
+  const TenantQuota quota = qit != quotas_.end() ? qit->second : default_;
+  Usage& usage = usage_[tenant_id];
+  if (quota.max_standing_queries > 0 &&
+      usage.standing >= quota.max_standing_queries) {
+    ++usage.rejects;
+    if (message != nullptr) {
+      *message = "tenant " + std::to_string(tenant_id) + " at its quota of " +
+                 std::to_string(quota.max_standing_queries) +
+                 " standing queries";
+    }
+    return AdmitReject::kTenantQueryQuota;
+  }
+  if (quota.max_energy_mj_per_epoch > 0.0 &&
+      usage.budget_mj + budget_mj > quota.max_energy_mj_per_epoch) {
+    ++usage.rejects;
+    if (message != nullptr) {
+      *message = "tenant " + std::to_string(tenant_id) +
+                 " energy cap exceeded: " + std::to_string(usage.budget_mj) +
+                 " + " + std::to_string(budget_mj) + " > " +
+                 std::to_string(quota.max_energy_mj_per_epoch) + " mJ/epoch";
+    }
+    return AdmitReject::kTenantEnergyQuota;
+  }
+  ++usage.standing;
+  usage.budget_mj += budget_mj;
+  ++usage.admits;
+  return AdmitReject::kNone;
+}
+
+void QuotaLedger::Release(int tenant_id, double budget_mj) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Usage& usage = usage_[tenant_id];
+  if (usage.standing > 0) --usage.standing;
+  usage.budget_mj -= budget_mj;
+  if (usage.budget_mj < 0.0) usage.budget_mj = 0.0;
+}
+
+void QuotaLedger::MeterEnergy(int tenant_id, double energy_mj) {
+  std::lock_guard<std::mutex> lock(mu_);
+  usage_[tenant_id].energy_mj += energy_mj;
+}
+
+QuotaLedger::Usage QuotaLedger::UsageFor(int tenant_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = usage_.find(tenant_id);
+  return it != usage_.end() ? it->second : Usage{};
+}
+
+std::vector<std::pair<int, QuotaLedger::Usage>> QuotaLedger::AllUsage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {usage_.begin(), usage_.end()};
+}
+
+}  // namespace service
+}  // namespace prospector

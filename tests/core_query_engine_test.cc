@@ -287,6 +287,60 @@ TEST(QueryEngineTest, AdmissionHydratesWindowAndRetirementSticks) {
   EXPECT_GE(engine.total_energy_mj(), total_before);
 }
 
+TEST(QueryEngineTest, RetireThenReadmitNeverAliasesState) {
+  // Pins the fleet contract: a retired query's id, attributed-energy
+  // pools, and health windows can never be revived by a newcomer.
+  World w(11);
+  QueryEngineOptions opts;
+  opts.bootstrap_sweeps = 4;
+  QueryEngine engine(&w.topo, {}, {}, opts, 13);
+  QuerySpec spec;
+  spec.k = 4;
+  const int victim = engine.AddQuery(spec);
+  const int survivor = engine.AddQuery(spec);
+
+  Rng rng(14);
+  for (int t = 0; t < 12; ++t) {
+    ASSERT_TRUE(engine.Tick(w.field.Sample(&rng)).ok());
+  }
+  const double victim_energy = engine.total_energy_mj(victim);
+  const QueryHealth victim_health = engine.query_health(victim);
+  EXPECT_GT(victim_energy, 0.0);
+  EXPECT_GT(victim_health.scored_epochs, 0);
+  const double engine_total = engine.total_energy_mj();
+
+  ASSERT_TRUE(engine.RemoveQuery(victim));
+  // The retired energy stays in the engine totals...
+  EXPECT_EQ(engine.total_energy_mj(), engine_total);
+  // ...and the id is burned: neither allocation path hands it out again.
+  EXPECT_FALSE(engine.AddQueryWithId(victim, spec).ok());
+  const int readmitted = engine.AddQuery(spec);
+  EXPECT_NE(readmitted, victim);
+  EXPECT_NE(readmitted, survivor);
+  EXPECT_GT(readmitted, survivor);
+
+  // The newcomer starts with fresh pools and a fresh health window, not
+  // the retiree's.
+  EXPECT_EQ(engine.total_energy_mj(readmitted), 0.0);
+  const QueryHealth fresh = engine.query_health(readmitted);
+  EXPECT_EQ(fresh.scored_epochs, 0);
+  EXPECT_EQ(fresh.status, HealthStatus::kUnknown);
+
+  // External ids can skip ahead; internal allocation never collides.
+  auto external = engine.AddQueryWithId(readmitted + 5, spec);
+  ASSERT_TRUE(external.ok());
+  EXPECT_EQ(engine.AddQuery(spec), readmitted + 6);
+  // But an ever-used external id stays refused even after retirement.
+  ASSERT_TRUE(engine.RemoveQuery(readmitted + 5));
+  EXPECT_FALSE(engine.AddQueryWithId(readmitted + 5, spec).ok());
+
+  for (int t = 0; t < 5; ++t) {
+    auto r = engine.Tick(w.field.Sample(&rng));
+    ASSERT_TRUE(r.ok());
+    for (const auto& qr : r->per_query) EXPECT_NE(qr.query_id, victim);
+  }
+}
+
 TEST(QueryEngineTest, PerQueryAuditsRunAlongsideMergedQueries) {
   World w(6, 30);
   QueryEngineOptions opts;

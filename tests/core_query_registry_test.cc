@@ -1,0 +1,164 @@
+// Sharded QueryRegistry: O(1) admit/retire under concurrent callers,
+// ascending-id iteration, and the never-reuse id guarantee the fleet
+// service builds on. The Parallel* cases are exercised under TSan by the
+// sanitize CI arm (test-name regex includes "Shard").
+#include "src/core/query_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace prospector {
+namespace core {
+namespace {
+
+QuerySpec CheapSpec(int k = 3) {
+  QuerySpec spec;
+  spec.k = k;
+  spec.energy_budget_mj = 5.0;
+  spec.planner = PlannerChoice::kGreedy;
+  return spec;
+}
+
+TEST(QueryRegistryShardTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(QueryRegistry(1).shard_count(), 1);
+  EXPECT_EQ(QueryRegistry(2).shard_count(), 2);
+  EXPECT_EQ(QueryRegistry(3).shard_count(), 4);
+  EXPECT_EQ(QueryRegistry(16).shard_count(), 16);
+  EXPECT_EQ(QueryRegistry(17).shard_count(), 32);
+  EXPECT_EQ(QueryRegistry(0).shard_count(), 1);
+}
+
+TEST(QueryRegistryShardTest, AddFindRemoveBasics) {
+  QueryRegistry registry;
+  const int a = registry.Add(CheapSpec(2), /*num_nodes=*/10,
+                             /*sample_window=*/8);
+  const int b = registry.Add(CheapSpec(4), 10, 8);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(registry.size(), 2);
+  ASSERT_NE(registry.Find(a), nullptr);
+  EXPECT_EQ(registry.Find(a)->spec.k, 2);
+  EXPECT_EQ(registry.Find(99), nullptr);
+
+  EXPECT_TRUE(registry.Remove(a));
+  EXPECT_FALSE(registry.Remove(a));  // already gone
+  EXPECT_EQ(registry.size(), 1);
+  EXPECT_EQ(registry.Find(a), nullptr);
+  EXPECT_EQ(registry.ids(), std::vector<int>{b});
+}
+
+TEST(QueryRegistryShardTest, RetiredIdsAreBurnedForever) {
+  QueryRegistry registry;
+  const int id = registry.Add(CheapSpec(), 10, 8);
+  EXPECT_TRUE(registry.Remove(id));
+  // Neither path may revive a retired id.
+  EXPECT_FALSE(registry.AddWithId(id, CheapSpec(), 10, 8).ok());
+  const int next = registry.Add(CheapSpec(), 10, 8);
+  EXPECT_NE(next, id);
+}
+
+TEST(QueryRegistryShardTest, ExternalIdsMayArriveOutOfOrder) {
+  QueryRegistry registry;
+  ASSERT_TRUE(registry.AddWithId(10, CheapSpec(), 10, 8).ok());
+  ASSERT_TRUE(registry.AddWithId(3, CheapSpec(), 10, 8).ok());
+  EXPECT_FALSE(registry.AddWithId(10, CheapSpec(), 10, 8).ok());
+  // Internal allocation never collides with what external callers used.
+  const int fresh = registry.Add(CheapSpec(), 10, 8);
+  EXPECT_EQ(fresh, 11);
+  EXPECT_EQ(registry.ids(), (std::vector<int>{3, 10, 11}));
+}
+
+TEST(QueryRegistryShardTest, OrderedIsAscendingById) {
+  QueryRegistry registry(4);
+  ASSERT_TRUE(registry.AddWithId(7, CheapSpec(7), 10, 8).ok());
+  ASSERT_TRUE(registry.AddWithId(1, CheapSpec(1), 10, 8).ok());
+  ASSERT_TRUE(registry.AddWithId(4, CheapSpec(4), 10, 8).ok());
+  const std::vector<QueryState*>& ordered = registry.ordered();
+  ASSERT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered[0]->id, 1);
+  EXPECT_EQ(ordered[1]->id, 4);
+  EXPECT_EQ(ordered[2]->id, 7);
+  // The snapshot tracks mutation.
+  registry.Remove(4);
+  ASSERT_EQ(registry.ordered().size(), 2u);
+  EXPECT_EQ(registry.ordered()[1]->id, 7);
+}
+
+TEST(QueryRegistryShardTest, ParallelAdmitIsDeterministicAndLeakFree) {
+  constexpr int kQueries = 256;
+  util::ThreadPool pool(4);
+  QueryRegistry registry;
+  std::vector<int> ok(kQueries, 0);
+  pool.ParallelFor(kQueries, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      ok[i] = registry.AddWithId(i, CheapSpec(1 + i % 5), 10, 8).ok() ? 1 : 0;
+    }
+  });
+  EXPECT_EQ(std::count(ok.begin(), ok.end(), 1), kQueries);
+  EXPECT_EQ(registry.size(), kQueries);
+  const std::vector<int> ids = registry.ids();
+  ASSERT_EQ(ids.size(), static_cast<size_t>(kQueries));
+  for (int i = 0; i < kQueries; ++i) {
+    EXPECT_EQ(ids[static_cast<size_t>(i)], i);  // ascending, gap-free
+    ASSERT_NE(registry.Find(i), nullptr);
+    EXPECT_EQ(registry.Find(i)->spec.k, 1 + i % 5);
+  }
+  EXPECT_EQ(registry.next_id(), kQueries);
+}
+
+TEST(QueryRegistryShardTest, ParallelRetireThenReadmitNeverAliases) {
+  constexpr int kQueries = 128;
+  util::ThreadPool pool(4);
+  QueryRegistry registry;
+  pool.ParallelFor(kQueries, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      ASSERT_TRUE(registry.AddWithId(i, CheapSpec(), 10, 8).ok());
+    }
+  });
+  // Concurrently retire the even ids...
+  pool.ParallelFor(kQueries / 2, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      EXPECT_TRUE(registry.Remove(2 * i));
+    }
+  });
+  EXPECT_EQ(registry.size(), kQueries / 2);
+  // ...then try to re-admit them concurrently: every attempt must bounce.
+  std::vector<int> revived(kQueries / 2, 0);
+  pool.ParallelFor(kQueries / 2, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      revived[i] = registry.AddWithId(2 * i, CheapSpec(), 10, 8).ok() ? 1 : 0;
+    }
+  });
+  EXPECT_EQ(std::count(revived.begin(), revived.end(), 1), 0);
+  const std::vector<int> ids = registry.ids();
+  ASSERT_EQ(ids.size(), static_cast<size_t>(kQueries / 2));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<int>(2 * i + 1));  // odd survivors only
+  }
+}
+
+TEST(QueryRegistryShardTest, ParallelMixedChurnConvergesToSameState) {
+  // Two registries fed the same operations with different thread counts
+  // must converge to identical membership.
+  constexpr int kOps = 200;
+  auto run = [&](int threads) {
+    util::ThreadPool pool(threads);
+    QueryRegistry registry(8);
+    pool.ParallelFor(kOps, [&](int begin, int end) {
+      for (int i = begin; i < end; ++i) {
+        ASSERT_TRUE(registry.AddWithId(i, CheapSpec(), 10, 8).ok());
+        if (i % 3 == 0) EXPECT_TRUE(registry.Remove(i));
+      }
+    });
+    return registry.ids();
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace prospector

@@ -27,20 +27,43 @@ import os
 import sys
 
 
-def load_tree(path):
-    """Maps artifact name -> parsed JSON for a directory or single file."""
+def load_tree(path, errors):
+    """Maps artifact name -> parsed JSON for a directory or single file.
+
+    Unreadable or malformed artifacts never raise: each one appends a
+    per-file message to `errors` and is left out of the returned map.
+    """
     out = {}
     if os.path.isfile(path):
         paths = [path]
-    else:
+    elif os.path.isdir(path):
         paths = [
             os.path.join(path, f)
             for f in sorted(os.listdir(path))
             if f.startswith("BENCH_") and f.endswith(".json")
         ]
+        if not paths:
+            errors.append(f"{path}: no BENCH_*.json artifacts found")
+            return out
+    else:
+        errors.append(f"{path}: no such file or directory")
+        return out
     for p in paths:
-        with open(p, "r", encoding="utf-8") as f:
-            out[os.path.basename(p)] = json.load(f)
+        try:
+            with open(p, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except OSError as e:
+            errors.append(f"{p}: unreadable ({e.strerror or e})")
+            continue
+        except json.JSONDecodeError as e:
+            errors.append(f"{p}: malformed JSON (line {e.lineno} "
+                          f"column {e.colno}: {e.msg})")
+            continue
+        if not isinstance(doc, dict):
+            errors.append(f"{p}: expected a JSON object, got "
+                          f"{type(doc).__name__}")
+            continue
+        out[os.path.basename(p)] = doc
     return out
 
 
@@ -53,8 +76,12 @@ def tables_of(doc):
 
 
 def rel_delta(a, b):
+    """Relative delta for numeric cells; None when not comparable."""
     if a == b:
         return 0.0
+    if not isinstance(a, (int, float)) or not isinstance(b, (int, float)) \
+            or isinstance(a, bool) or isinstance(b, bool):
+        return None
     scale = max(abs(a), abs(b))
     return abs(a - b) / scale if scale > 0 else 0.0
 
@@ -102,9 +129,13 @@ def diff_artifact(name, old, new, tol, seed_strict, out):
             continue
         for r, (row_o, row_n) in enumerate(zip(rows_o, rows_n)):
             for c, (a, b) in enumerate(zip(row_o, row_n)):
+                col = cols_o[c] if c < len(cols_o) else f"col{c}"
                 d = rel_delta(a, b)
-                if d > tol:
-                    col = cols_o[c] if c < len(cols_o) else f"col{c}"
+                if d is None:
+                    out.append(f"{label}: row {r} {col}: non-numeric "
+                               f"cells {a!r} != {b!r}")
+                    ok = False
+                elif d > tol:
                     out.append(f"{label}: row {r} {col}: "
                                f"{a:.6g} -> {b:.6g} ({d * 100.0:.1f}%)")
                     ok = False
@@ -121,10 +152,10 @@ def main(argv):
                     help="fail when seeds differ")
     args = ap.parse_args(argv)
 
-    old_tree = load_tree(args.old)
-    new_tree = load_tree(args.new)
     findings = []
-    clean = True
+    old_tree = load_tree(args.old, findings)
+    new_tree = load_tree(args.new, findings)
+    clean = not findings
     for name in sorted(set(old_tree) - set(new_tree)):
         findings.append(f"{name}: only in {args.old}")
         clean = False
@@ -133,8 +164,14 @@ def main(argv):
         clean = False
     common = sorted(set(old_tree) & set(new_tree))
     for name in common:
-        if not diff_artifact(name, old_tree[name], new_tree[name],
-                             args.tol, args.seed_strict, findings):
+        try:
+            comparable = diff_artifact(name, old_tree[name], new_tree[name],
+                                       args.tol, args.seed_strict, findings)
+        except (AttributeError, KeyError, TypeError, ValueError) as e:
+            findings.append(f"{name}: unexpected artifact shape "
+                            f"({type(e).__name__}: {e})")
+            comparable = False
+        if not comparable:
             clean = False
     for line in findings:
         print(line)
