@@ -181,13 +181,26 @@ void Run() {
                 100.0 * speedup / threads);
   }
 
+  // On a single-core host every extra thread is pure oversubscription:
+  // speedup < 1 is the expected shape, not a regression. Say so out loud
+  // and stamp the artifact, so a bench_diff against a multi-core run (or a
+  // human reading the table) doesn't misread the column.
+  const int hardware = util::ThreadPool::HardwareThreads();
+  const bool single_core = hardware <= 1;
+  if (single_core) {
+    std::printf(
+        "NOTE: host has 1 hardware thread; speedup < 1 above reflects "
+        "oversubscription overhead, not a planner regression\n");
+  }
+
   bench::BenchJson json("parallel_scaling");
   json.Meta("nodes", kNodes)
       .Meta("k", kTop)
       .Meta("samples", kSamples)
       .Meta("repeats", kRepeats)
-      .Meta("hardware_threads", util::ThreadPool::HardwareThreads())
       .Meta("bit_identical", 1)
+      .HostFact("hardware_concurrency", hardware)
+      .HostFact("speedup_below_one_expected", single_core ? 1 : 0)
       .Columns({"threads", "best_ms", "speedup"});
   for (const Row& r : rows) {
     json.Row({double(r.threads), r.best_ms, r.speedup});

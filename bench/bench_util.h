@@ -115,6 +115,16 @@ class BenchJson {
     meta_.emplace_back(key, value);
     return *this;
   }
+  /// Records a fact about the machine the bench ran on (core counts and
+  /// the like). Host facts land in a separate "host" object and are
+  /// deliberately excluded from the fingerprint — like the seed, they are
+  /// provenance, not configuration: artifacts from differently-sized
+  /// hosts stay comparable, and the differ can still surface why e.g. a
+  /// parallel speedup moved.
+  BenchJson& HostFact(const std::string& key, double value) {
+    host_.emplace_back(key, value);
+    return *this;
+  }
   /// Records the bench's RNG seed in the artifact (provenance only; the
   /// fingerprint deliberately excludes it so seed sweeps stay comparable).
   BenchJson& Seed(uint64_t seed) {
@@ -158,6 +168,14 @@ class BenchJson {
                    meta_[i].first.c_str(), meta_[i].second);
     }
     std::fprintf(f, "}");
+    if (!host_.empty()) {
+      std::fprintf(f, ",\n  \"host\": {");
+      for (size_t i = 0; i < host_.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
+                     host_[i].first.c_str(), host_[i].second);
+      }
+      std::fprintf(f, "}");
+    }
     size_t total_rows = rows_.size();
     if (tables_.empty()) {
       std::fprintf(f, ",\n  \"columns\": [");
@@ -193,9 +211,9 @@ class BenchJson {
   };
 
   /// FNV-1a over everything that defines what the bench measured (name,
-  /// meta knobs, table shape) but not what it observed (rows) or which
-  /// stream it drew (seed). Two artifacts with equal fingerprints are
-  /// run-to-run comparable.
+  /// meta knobs, table shape) but not what it observed (rows), which
+  /// stream it drew (seed), or where it ran (host facts). Two artifacts
+  /// with equal fingerprints are run-to-run comparable.
   uint64_t Fingerprint() const {
     uint64_t h = 0xcbf29ce484222325ULL;
     const auto mix = [&h](const std::string& s) {
@@ -241,6 +259,7 @@ class BenchJson {
   std::string name_;
   uint64_t seed_ = 0;
   std::vector<std::pair<std::string, double>> meta_;
+  std::vector<std::pair<std::string, double>> host_;
   std::vector<std::string> columns_;
   std::vector<std::vector<double>> rows_;
   std::vector<Table> tables_;

@@ -1,0 +1,120 @@
+#include "src/core/hit_matrix.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/obs/obs.h"
+
+namespace prospector {
+namespace core {
+
+int HitMatrix::AppendRow(const sampling::SampleSet& samples, int j) {
+  const int slot = static_cast<int>(slot_stamp_.size());
+  slot_stamp_.push_back(samples.sample_stamp(j));
+  rows_.resize(rows_.size() + words_, 0);
+  uint64_t* r = rows_.data() + static_cast<size_t>(slot) * words_;
+  for (int i : samples.ones(j)) {
+    r[i >> 6] |= uint64_t{1} << (i & 63);
+    ++column_sums_[i];
+    ++total_ones_;
+  }
+  if ((slot >> 6) >= static_cast<int>(live_.size())) live_.push_back(0);
+  live_[slot >> 6] |= uint64_t{1} << (slot & 63);
+  return slot;
+}
+
+void HitMatrix::TombstoneSlot(int slot) {
+  live_[slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+  const uint64_t* r = rows_.data() + static_cast<size_t>(slot) * words_;
+  for (int w = 0; w < words_; ++w) {
+    uint64_t bits = r[w];
+    while (bits != 0) {
+      const int i = (w << 6) + std::countr_zero(bits);
+      bits &= bits - 1;
+      --column_sums_[i];
+      --total_ones_;
+    }
+  }
+  ++dead_slots_;
+}
+
+void HitMatrix::RebuildFrom(const sampling::SampleSet& samples) {
+  PROSPECTOR_COUNTER_ADD("hit_matrix.rebuilds", 1);
+  num_nodes_ = samples.num_nodes();
+  words_ = (num_nodes_ + 63) / 64;
+  rows_.clear();
+  live_.clear();
+  slot_stamp_.clear();
+  window_slot_.clear();
+  column_sums_.assign(num_nodes_, 0);
+  total_ones_ = 0;
+  dead_slots_ = 0;
+  const int S = samples.num_samples();
+  window_slot_.reserve(S);
+  rows_.reserve(static_cast<size_t>(S) * words_);
+  for (int j = 0; j < S; ++j) window_slot_.push_back(AppendRow(samples, j));
+}
+
+void HitMatrix::Sync(const sampling::SampleSet& samples) {
+  if (InSyncWith(samples)) return;
+  const int S = samples.num_samples();
+  // A new lineage, a node-count change, or a version running backwards
+  // (this matrix was synced to a newer window of the same lineage than
+  // `samples` — the stamp ledger can't be rolled back) all rebuild.
+  if (!synced_ || set_id_ != samples.id() ||
+      num_nodes_ != samples.num_nodes() || samples.version() < set_version_) {
+    RebuildFrom(samples);
+  } else {
+    // Same lineage, newer window. Reconcile by stamps: both the live slots
+    // and the window are stamp-ascending, so one merge pass tombstones
+    // departed rows, reuses surviving ones, and appends the new tail.
+    // Appends are legal only past the end of the slot ledger (they must
+    // keep it ascending); a window stamp that is missing mid-ledger, or
+    // lands on a tombstoned slot, means the set diverged from the history
+    // this matrix followed (e.g. a forked copy) — rebuild instead.
+    std::vector<int> new_window;
+    new_window.reserve(S);
+    const int num_slots = static_cast<int>(slot_stamp_.size());
+    int slot = 0;
+    bool appending = false;  // reached the ledger end; rest is new tail
+    bool diverged = false;
+    for (int j = 0; j < S && !diverged; ++j) {
+      const uint64_t stamp = samples.sample_stamp(j);
+      if (!appending) {
+        while (slot < num_slots && slot_stamp_[slot] < stamp) {
+          if (SlotLive(slot)) TombstoneSlot(slot);
+          ++slot;
+        }
+        appending = slot == num_slots;
+      }
+      if (appending) {
+        new_window.push_back(AppendRow(samples, j));
+      } else if (slot_stamp_[slot] == stamp && SlotLive(slot)) {
+        new_window.push_back(slot);
+        ++slot;
+      } else {
+        diverged = true;
+      }
+    }
+    if (diverged) {
+      RebuildFrom(samples);
+    } else {
+      while (slot < num_slots) {
+        if (SlotLive(slot)) TombstoneSlot(slot);
+        ++slot;
+      }
+      window_slot_ = std::move(new_window);
+      PROSPECTOR_COUNTER_ADD("hit_matrix.incremental_syncs", 1);
+      // Compact once tombstones dominate: dead rows cost memory and cache
+      // locality (live rows scatter across the slot array), never
+      // correctness.
+      if (dead_slots_ > S + 64) RebuildFrom(samples);
+    }
+  }
+  set_id_ = samples.id();
+  set_version_ = samples.version();
+  synced_ = true;
+}
+
+}  // namespace core
+}  // namespace prospector

@@ -1,0 +1,98 @@
+#ifndef PROSPECTOR_CORE_HIT_MATRIX_H_
+#define PROSPECTOR_CORE_HIT_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sampling/sample_set.h"
+
+namespace prospector {
+namespace core {
+
+/// The Boolean contribution matrix Q of Section 3 ("was node i in the
+/// answer of sample j"), bit-packed 64 nodes per word so plan scoring
+/// becomes word operations: SampleHits over a node-selection plan is one
+/// std::popcount per row word, column sums are bit-scan loops, and the
+/// bandwidth recurrence touches only the ancestors of set bits instead of
+/// every node.
+///
+/// The matrix mirrors a sampling::SampleSet window incrementally. Rows are
+/// append-only and keyed by the owning sample's stamp; when the window
+/// slides, departed rows are tombstoned (their bit in the `live_` mask
+/// words is cleared and their counts are backed out) rather than moved, so
+/// a sync after a slide costs O(changed rows), not O(window). Remaps and
+/// lineage changes rebuild from scratch, and tombstone mass is compacted
+/// away once it outgrows the live window. Synced matrices are bit-exact
+/// with the source set: Contributes and column_sums return identical
+/// values, which is what keeps planner decisions independent of whether a
+/// cached matrix or the raw window scored them.
+class HitMatrix {
+ public:
+  HitMatrix() = default;
+
+  /// Reconciles this matrix with the sample window: no-op when already in
+  /// sync, row appends/tombstones for a slid window of the same lineage,
+  /// full rebuild for a new lineage (remap, Recent) or shrunken history.
+  void Sync(const sampling::SampleSet& samples);
+
+  /// True when this matrix reflects exactly `samples`' current contents.
+  bool InSyncWith(const sampling::SampleSet& samples) const {
+    return synced_ && set_id_ == samples.id() &&
+           set_version_ == samples.version();
+  }
+
+  int num_nodes() const { return num_nodes_; }
+  /// Rows currently mapped, in window order (index j matches the set's).
+  int num_samples() const { return static_cast<int>(window_slot_.size()); }
+  int words_per_row() const { return words_; }
+
+  /// Packed row of window sample j: bit i set iff node i contributed.
+  const uint64_t* row(int j) const {
+    return rows_.data() + static_cast<size_t>(window_slot_[j]) * words_;
+  }
+
+  bool Contributes(int j, int i) const {
+    return (row(j)[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Identical integers to SampleSet::column_sums(), maintained
+  /// incrementally from the packed rows.
+  const std::vector<int>& column_sums() const { return column_sums_; }
+
+  /// Identical to SampleSet::total_ones().
+  int total_ones() const { return total_ones_; }
+
+  uint64_t set_id() const { return set_id_; }
+  uint64_t set_version() const { return set_version_; }
+
+ private:
+  void RebuildFrom(const sampling::SampleSet& samples);
+  /// Appends sample j of `samples` as a new slot; returns the slot index.
+  int AppendRow(const sampling::SampleSet& samples, int j);
+  void TombstoneSlot(int slot);
+  bool SlotLive(int slot) const {
+    return (live_[slot >> 6] >> (slot & 63)) & 1;
+  }
+
+  int num_nodes_ = 0;
+  int words_ = 0;
+  /// Slot-major packed rows; slots are append-only between rebuilds.
+  std::vector<uint64_t> rows_;
+  /// One bit per slot: still part of the window? (tombstones are 0).
+  std::vector<uint64_t> live_;
+  /// Owning sample's stamp per slot, ascending (stamps are monotonic).
+  std::vector<uint64_t> slot_stamp_;
+  /// Window index j -> slot holding its row.
+  std::vector<int> window_slot_;
+  std::vector<int> column_sums_;
+  int total_ones_ = 0;
+  int dead_slots_ = 0;
+  uint64_t set_id_ = 0;
+  uint64_t set_version_ = 0;
+  bool synced_ = false;
+};
+
+}  // namespace core
+}  // namespace prospector
+
+#endif  // PROSPECTOR_CORE_HIT_MATRIX_H_

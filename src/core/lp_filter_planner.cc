@@ -245,6 +245,14 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
   QueryPlan plan = QueryPlan::Bandwidth(request.k, std::move(bw));
   plan.Normalize(topo);
 
+  // Repair and fill score every trial plan against the window; the packed
+  // hit matrix (cached across queries when a workspace is attached) makes
+  // each evaluation proportional to the contributing nodes instead of the
+  // network, with identical hit counts.
+  const auto hits_ptr = (options_.repair_budget || options_.fill_budget)
+                            ? GetHitMatrix(ctx.workspace, samples)
+                            : nullptr;
+
   // Budget repair: drop the bandwidth unit whose loss costs the fewest
   // sample hits per mJ reclaimed, until the plan fits. Candidate trials
   // are independent, so each round scores them on the pool and then picks
@@ -252,7 +260,7 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
   // computes.
   if (options_.repair_budget) {
     net::NetworkSimulator cost_sim(&topo, ctx.energy, ctx.failures);
-    int hits = SampleHits(plan, topo, samples, pool);
+    int hits = SampleHits(plan, topo, *hits_ptr, pool);
     while (ExpectedCollectionCost(plan, cost_sim) > request.energy_budget_mj) {
       std::vector<int> candidates;
       for (int e = 0; e < n; ++e) {
@@ -271,7 +279,7 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
           QueryPlan trial = plan;
           --trial.bandwidth[candidates[c]];
           trial.Normalize(topo);
-          const int trial_hits = SampleHits(trial, topo, samples);
+          const int trial_hits = SampleHits(trial, topo, *hits_ptr);
           const double saved =
               plan_cost - ExpectedCollectionCost(trial, cost_sim);
           scores[c].score =
@@ -305,16 +313,16 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
   // improve.
   if (options_.fill_budget) {
     net::NetworkSimulator cost_sim(&topo, ctx.energy, ctx.failures);
+    const std::vector<int>& cs = hits_ptr->column_sums();
     std::vector<int> order;
     for (int i = 0; i < n; ++i) {
-      if (i != root && samples.column_sums()[i] > 0) order.push_back(i);
+      if (i != root && cs[i] > 0) order.push_back(i);
     }
     std::sort(order.begin(), order.end(), [&](int a, int bnode) {
-      const auto& cs = samples.column_sums();
       if (cs[a] != cs[bnode]) return cs[a] > cs[bnode];
       return a < bnode;
     });
-    int hits = SampleHits(plan, topo, samples, pool);
+    int hits = SampleHits(plan, topo, *hits_ptr, pool);
     bool progress = true;
     while (progress) {
       progress = false;
@@ -330,7 +338,7 @@ Result<QueryPlan> LpFilterPlanner::Plan(const PlannerContext& ctx,
             request.energy_budget_mj) {
           continue;
         }
-        const int trial_hits = SampleHits(trial, topo, samples, pool);
+        const int trial_hits = SampleHits(trial, topo, *hits_ptr, pool);
         if (trial_hits > hits) {
           plan = std::move(trial);
           hits = trial_hits;

@@ -1,9 +1,92 @@
 #include "src/core/plan_eval.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 namespace prospector {
 namespace core {
+namespace {
+
+// Mask whose popcount against a packed row scores a node-selection plan:
+// the chosen non-root nodes, plus the root (its contribution always counts
+// and needs no plan entry).
+std::vector<uint64_t> SelectionMask(const QueryPlan& plan, int num_nodes,
+                                    int root, int words) {
+  std::vector<uint64_t> mask(words, 0);
+  for (int i = 0; i < num_nodes; ++i) {
+    if (i == root || plan.chosen[i]) {
+      mask[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+  return mask;
+}
+
+// The bandwidth recurrence f(u) = min(bandwidth[u], own + sum_children f)
+// evaluated over one packed row, visiting only the set bits and their
+// ancestors: every other node has zero available values and f = 0. Level
+// buckets (parent depth is child depth - 1, exactly) give the
+// children-before-parents order; the result is the same integer the full
+// post-order walk computes.
+int BandwidthRowHits(const QueryPlan& plan, const net::Topology& topology,
+                     const uint64_t* row, int words) {
+  const int root = topology.root();
+  int hits = 0;
+  std::vector<int> contribs;
+  for (int w = 0; w < words; ++w) {
+    uint64_t bits = row[w];
+    while (bits != 0) {
+      const int u = (w << 6) + std::countr_zero(bits);
+      bits &= bits - 1;
+      if (u == root) {
+        ++hits;
+      } else {
+        contribs.push_back(u);
+      }
+    }
+  }
+  if (contribs.empty()) return hits;
+  int max_depth = 0;
+  for (int u : contribs) max_depth = std::max(max_depth, topology.depth(u));
+  std::vector<std::vector<int>> levels(max_depth + 1);
+  std::vector<int> avail(topology.num_nodes(), 0);
+  for (int u : contribs) {
+    if (avail[u] == 0) levels[topology.depth(u)].push_back(u);
+    ++avail[u];
+  }
+  for (int d = max_depth; d >= 1; --d) {
+    for (size_t idx = 0; idx < levels[d].size(); ++idx) {
+      const int u = levels[d][idx];
+      const int f = std::min(plan.bandwidth[u], avail[u]);
+      if (f <= 0) continue;  // nothing survives u; don't enqueue its parent
+      const int p = topology.parent(u);
+      if (p == root) {
+        hits += f;
+      } else {
+        // avail[p] == 0 doubles as "not yet enqueued": every enqueue is
+        // paired with a strictly positive accumulation.
+        if (avail[p] == 0) levels[d - 1].push_back(p);
+        avail[p] += f;
+      }
+    }
+  }
+  return hits;
+}
+
+int PackedHitsForRow(const QueryPlan& plan, const net::Topology& topology,
+                     const uint64_t* row, const uint64_t* selection_mask,
+                     int words) {
+  if (plan.kind == PlanKind::kNodeSelection) {
+    int hits = 0;
+    for (int w = 0; w < words; ++w) {
+      hits += std::popcount(row[w] & selection_mask[w]);
+    }
+    return hits;
+  }
+  return BandwidthRowHits(plan, topology, row, words);
+}
+
+}  // namespace
 
 int SampleHitsForSample(const QueryPlan& plan, const net::Topology& topology,
                         const sampling::SampleSet& samples, int j) {
@@ -28,20 +111,42 @@ int SampleHitsForSample(const QueryPlan& plan, const net::Topology& topology,
   return hits;
 }
 
+int SampleHitsForSample(const QueryPlan& plan, const net::Topology& topology,
+                        const HitMatrix& hits, int j) {
+  const int words = hits.words_per_row();
+  if (plan.kind == PlanKind::kNodeSelection) {
+    const std::vector<uint64_t> mask = SelectionMask(
+        plan, topology.num_nodes(), topology.root(), words);
+    return PackedHitsForRow(plan, topology, hits.row(j), mask.data(), words);
+  }
+  return BandwidthRowHits(plan, topology, hits.row(j), words);
+}
+
 int SampleHits(const QueryPlan& plan, const net::Topology& topology,
-               const sampling::SampleSet& samples, util::ThreadPool* pool) {
-  const int S = samples.num_samples();
+               const HitMatrix& hits, util::ThreadPool* pool) {
+  const int S = hits.num_samples();
+  const int words = hits.words_per_row();
+  std::vector<uint64_t> mask;
+  if (plan.kind == PlanKind::kNodeSelection) {
+    mask = SelectionMask(plan, topology.num_nodes(), topology.root(), words);
+  }
+  auto row_hits = [&](int j) {
+    return PackedHitsForRow(plan, topology, hits.row(j), mask.data(), words);
+  };
   if (pool != nullptr) {
-    return pool->ParallelReduce<int>(
-        S, 0,
-        [&](int j) { return SampleHitsForSample(plan, topology, samples, j); },
-        [](int acc, int v) { return acc + v; });
+    return pool->ParallelReduce<int>(S, 0, row_hits,
+                                     [](int acc, int v) { return acc + v; });
   }
   int total = 0;
-  for (int j = 0; j < S; ++j) {
-    total += SampleHitsForSample(plan, topology, samples, j);
-  }
+  for (int j = 0; j < S; ++j) total += row_hits(j);
   return total;
+}
+
+int SampleHits(const QueryPlan& plan, const net::Topology& topology,
+               const sampling::SampleSet& samples, util::ThreadPool* pool) {
+  HitMatrix hits;
+  hits.Sync(samples);
+  return SampleHits(plan, topology, hits, pool);
 }
 
 AccuracyMetrics TopKAccuracy(const ExecutionResult& result,

@@ -76,14 +76,18 @@ class PlanManager {
     }
     auto candidate = planner_->Plan(ctx, samples, request_);
     if (!candidate.ok()) return candidate.status();
+    // Candidate and installed plans are scored through the packed hit
+    // matrix (the workspace's cached copy when one is attached) — the same
+    // integers the raw window yields, so decisions are unchanged.
+    const auto hits_matrix = GetHitMatrix(ctx.workspace, samples);
     const int new_hits =
-        SampleHits(*candidate, *ctx.topology, samples, options_.pool);
+        SampleHits(*candidate, *ctx.topology, *hits_matrix, options_.pool);
     if (plan_.has_value()) {
       // The installed plan is fixed, so its score only moves when the
       // window or topology does — memoized on exactly those versions.
       if (!installed_hits_.Matches(*ctx.topology, samples)) {
         installed_hits_.Store(
-            SampleHits(*plan_, *ctx.topology, samples, options_.pool),
+            SampleHits(*plan_, *ctx.topology, *hits_matrix, options_.pool),
             *ctx.topology, samples);
         UpdatePredictedRecall(samples);
       }

@@ -163,6 +163,23 @@ void PlanningWorkspace::ReleaseLp(LpKind kind, int key,
   }
 }
 
+std::shared_ptr<const HitMatrix> PlanningWorkspace::Hits(
+    const sampling::SampleSet& samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (hits_cache_ != nullptr && hits_cache_->InSyncWith(samples)) {
+    PROSPECTOR_COUNTER_ADD("workspace.hits.hit", 1);
+    return hits_cache_;
+  }
+  PROSPECTOR_COUNTER_ADD("workspace.hits.miss", 1);
+  // Clone-on-write: earlier shared_ptr holders keep reading their frozen
+  // copy; the clone applies the delta (same lineage) or rebuilds.
+  auto fresh = hits_cache_ != nullptr ? std::make_shared<HitMatrix>(*hits_cache_)
+                                      : std::make_shared<HitMatrix>();
+  fresh->Sync(samples);
+  hits_cache_ = std::move(fresh);
+  return hits_cache_;
+}
+
 Result<lp::Solution> PlanningWorkspace::SolveLp(
     LpEntry* entry, const lp::SimplexOptions& simplex) {
   lp::SimplexSolver solver(simplex);
@@ -211,6 +228,7 @@ void PlanningWorkspace::Clear() {
   // flagged cached_, but ReleaseLp finds no slot and discards the entry —
   // exactly right, it predates the Clear.
   lp_entries_.clear();
+  hits_cache_.reset();
 }
 
 WorkspaceCounters PlanningWorkspace::counters() const {
@@ -240,6 +258,14 @@ std::shared_ptr<const PlanningWorkspace::IntLists> GetPathCache(
   if (workspace != nullptr) return workspace->Paths(topology, pool);
   auto fresh = std::make_shared<PlanningWorkspace::IntLists>(
       ComputePathCache(topology, pool));
+  return fresh;
+}
+
+std::shared_ptr<const HitMatrix> GetHitMatrix(
+    PlanningWorkspace* workspace, const sampling::SampleSet& samples) {
+  if (workspace != nullptr) return workspace->Hits(samples);
+  auto fresh = std::make_shared<HitMatrix>();
+  fresh->Sync(samples);
   return fresh;
 }
 

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/hit_matrix.h"
 #include "src/core/planner.h"
 #include "src/lp/model.h"
 #include "src/lp/simplex.h"
@@ -217,6 +218,14 @@ class PlanningWorkspace {
 
   LpLease AcquireLp(LpKind kind, int lease_key);
 
+  /// The packed hit matrix for `samples`, cached across queries. In-sync
+  /// hits are free; a slid window of the same lineage clones the cached
+  /// matrix and applies the delta (append-only rows, tombstones as mask
+  /// words — readers of the previous shared_ptr are never mutated under);
+  /// other changes rebuild. The returned matrix is bit-exact with
+  /// `samples`, so plans are identical with or without the cache.
+  std::shared_ptr<const HitMatrix> Hits(const sampling::SampleSet& samples);
+
   /// Solves the entry's model, warm-starting from its stored basis when
   /// the options allow, and stores the new basis back for next time.
   /// Accounts warm attempts/successes and the lp.* metrics.
@@ -260,6 +269,8 @@ class PlanningWorkspace {
   /// (kind, lease key) -> entry; a leased slot maps to nullptr until the
   /// lease returns it.
   std::map<std::pair<int, int>, std::unique_ptr<LpEntry>> lp_entries_;
+  /// Most recent packed hit matrix (see Hits()).
+  std::shared_ptr<const HitMatrix> hits_cache_;
   WorkspaceCounters counters_;
 };
 
@@ -277,6 +288,12 @@ std::shared_ptr<const PlanningWorkspace::IntLists> GetAncestors(
 /// DescendantsOf(i) for every node, through the workspace when present.
 std::shared_ptr<const PlanningWorkspace::IntLists> GetDescendants(
     PlanningWorkspace* workspace, const net::Topology& topology);
+
+/// The packed hit matrix front door for planners and the plan manager:
+/// the workspace's cached copy when one is attached, a freshly packed
+/// matrix otherwise (the seed path). Bit-exact with `samples` either way.
+std::shared_ptr<const HitMatrix> GetHitMatrix(
+    PlanningWorkspace* workspace, const sampling::SampleSet& samples);
 
 }  // namespace core
 }  // namespace prospector

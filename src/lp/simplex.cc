@@ -9,18 +9,12 @@
 #include <memory>
 #include <vector>
 
+#include "src/lp/solver_internal.h"
 #include "src/obs/obs.h"
 
 namespace prospector {
 namespace lp {
 namespace internal {
-
-enum class VarStatus : unsigned char {
-  kBasic,
-  kAtLower,
-  kAtUpper,
-  kFreeAtZero,
-};
 
 // Working state of a solve: the equality-form problem
 //   A x = b,  lo <= x <= up
@@ -292,23 +286,7 @@ void ExtractOptimal(const Tableau& tab, const Model& model, int nstruct,
     sol->reduced_costs[j] = maximize ? -tab.d[j] : tab.d[j];
   }
 
-  // Primal residual check against the original model.
-  double resid = 0.0;
-  for (int j = 0; j < nstruct; ++j) {
-    resid = std::max(resid, model.variable(j).lower - sol->values[j]);
-    resid = std::max(resid, sol->values[j] - model.variable(j).upper);
-  }
-  for (int i = 0; i < m; ++i) {
-    const Row& row = model.row(i);
-    double lhs = 0.0;
-    for (const Term& t : row.terms) lhs += t.coeff * sol->values[t.var];
-    switch (row.type) {
-      case RowType::kLessEqual: resid = std::max(resid, lhs - row.rhs); break;
-      case RowType::kGreaterEqual: resid = std::max(resid, row.rhs - lhs); break;
-      case RowType::kEqual: resid = std::max(resid, std::abs(lhs - row.rhs)); break;
-    }
-  }
-  sol->primal_residual = std::max(resid, 0.0);
+  sol->primal_residual = internal::ComputePrimalResidual(model, sol->values);
 
   // Capture the basis for future warm starts — only when no artificial
   // column stayed basic, since a warm restore has no artificial columns.
@@ -573,19 +551,7 @@ bool HotAttempt(const Model& model, const SimplexOptions& opts, Tableau* tab,
   // Appended variables rest at the finite bound nearest zero — the cold
   // solver's own initial choice.
   for (int j = nstruct_old; j < nstruct; ++j) {
-    const bool lo_fin = tab->lo[j] != -kInfinity;
-    const bool up_fin = tab->up[j] != kInfinity;
-    if (lo_fin && up_fin) {
-      tab->status[j] = std::abs(tab->lo[j]) <= std::abs(tab->up[j])
-                           ? VarStatus::kAtLower
-                           : VarStatus::kAtUpper;
-    } else if (lo_fin) {
-      tab->status[j] = VarStatus::kAtLower;
-    } else if (up_fin) {
-      tab->status[j] = VarStatus::kAtUpper;
-    } else {
-      tab->status[j] = VarStatus::kFreeAtZero;
-    }
+    tab->status[j] = internal::InitialRestStatus(tab->lo[j], tab->up[j]);
   }
   // Every nonbasic resting position must still exist under the new bounds.
   for (int j = 0; j < ncols; ++j) {
@@ -689,17 +655,7 @@ bool HotAttempt(const Model& model, const SimplexOptions& opts, Tableau* tab,
   return true;
 }
 
-// Every termination path (optimal, infeasible, limit) passes through here
-// so the registry sees all work done, not just successful solves.
-void RecordSolveMetrics([[maybe_unused]] const Solution& sol) {
-  PROSPECTOR_COUNTER_ADD("lp.solves", 1);
-  PROSPECTOR_COUNTER_ADD("lp.rows", sol.stats.rows);
-  PROSPECTOR_COUNTER_ADD("lp.columns", sol.stats.columns);
-  PROSPECTOR_COUNTER_ADD("lp.artificials", sol.stats.artificials);
-  PROSPECTOR_COUNTER_ADD("lp.phase1_pivots", sol.stats.phase1_iterations);
-  PROSPECTOR_COUNTER_ADD("lp.phase2_pivots", sol.stats.phase2_iterations);
-  PROSPECTOR_COUNTER_ADD("lp.blands_activations", sol.stats.blands_activations);
-}
+using internal::RecordSolveMetrics;
 
 }  // namespace
 
@@ -710,6 +666,21 @@ TableauState& TableauState::operator=(TableauState&&) noexcept = default;
 void TableauState::Clear() { tab_.reset(); }
 
 Result<Solution> SimplexSolver::Solve(const Model& model) const {
+  SimplexAlgorithm algo = options_.algorithm;
+  if (algo == SimplexAlgorithm::kAuto) {
+    algo = internal::ResolveAutoAlgorithm(model);
+  }
+  if (algo == SimplexAlgorithm::kDense) {
+    return SolveImpl(model, nullptr);
+  }
+#ifdef PROSPECTOR_LP_CROSSCHECK
+  return SolveRevised(model, true);
+#else
+  return SolveRevised(model, options_.cross_check);
+#endif
+}
+
+Result<Solution> SimplexSolver::SolveDense(const Model& model) const {
   return SolveImpl(model, nullptr);
 }
 
@@ -722,18 +693,8 @@ Result<Solution> SimplexSolver::SolveImpl(const Model& model,
   const int m = model.num_rows();
   const bool maximize = model.sense() == Sense::kMaximize;
 
-  {
-    // Two dense m x (nstruct + m [+ artificials]) arrays are live at once
-    // during assembly; refuse models that cannot fit.
-    const size_t cells = static_cast<size_t>(m) * (nstruct + m);
-    if (cells * 2 * sizeof(double) > options_.max_tableau_bytes) {
-      return Status::ResourceExhausted(
-          "LP of " + std::to_string(m) + " rows x " +
-          std::to_string(nstruct + m) +
-          " columns exceeds the dense-tableau memory limit; shrink the "
-          "model (e.g. fewer samples) or raise max_tableau_bytes");
-    }
-  }
+  PROSPECTOR_RETURN_IF_ERROR(
+      internal::CheckTableauBudget(model, options_.max_tableau_bytes));
 
   // ---- Assemble the equality-form tableau: [structural | slacks]. ----
   Tableau tab;
@@ -774,19 +735,7 @@ Result<Solution> SimplexSolver::SolveImpl(const Model& model,
   // Initial nonbasic status: rest at the finite bound nearest zero.
   tab.status.assign(nstruct + m, VarStatus::kAtLower);
   for (int j = 0; j < nstruct + m; ++j) {
-    const bool lo_fin = tab.lo[j] != -kInfinity;
-    const bool up_fin = tab.up[j] != kInfinity;
-    if (lo_fin && up_fin) {
-      tab.status[j] = std::abs(tab.lo[j]) <= std::abs(tab.up[j])
-                          ? VarStatus::kAtLower
-                          : VarStatus::kAtUpper;
-    } else if (lo_fin) {
-      tab.status[j] = VarStatus::kAtLower;
-    } else if (up_fin) {
-      tab.status[j] = VarStatus::kAtUpper;
-    } else {
-      tab.status[j] = VarStatus::kFreeAtZero;
-    }
+    tab.status[j] = internal::InitialRestStatus(tab.lo[j], tab.up[j]);
   }
 
   // Residual of each row with everything nonbasic (the slack included):
@@ -932,17 +881,8 @@ Result<Solution> SimplexSolver::SolveWarm(const Model& model,
   if (warm.empty()) return Solve(model);
   PROSPECTOR_SPAN("lp.solve_warm");
   PROSPECTOR_RETURN_IF_ERROR(model.Validate());
-  {
-    const size_t cells = static_cast<size_t>(model.num_rows()) *
-                         (model.num_variables() + model.num_rows());
-    if (cells * 2 * sizeof(double) > options_.max_tableau_bytes) {
-      return Status::ResourceExhausted(
-          "LP of " + std::to_string(model.num_rows()) + " rows x " +
-          std::to_string(model.num_variables() + model.num_rows()) +
-          " columns exceeds the dense-tableau memory limit; shrink the "
-          "model (e.g. fewer samples) or raise max_tableau_bytes");
-    }
-  }
+  PROSPECTOR_RETURN_IF_ERROR(
+      internal::CheckTableauBudget(model, options_.max_tableau_bytes));
 
   Solution sol;
   // An iteration-limited warm run is also retried cold: the fresh crash
@@ -987,17 +927,8 @@ Result<Solution> SimplexSolver::SolveHot(const Model& model,
   if (state == nullptr) return Solve(model);
   PROSPECTOR_SPAN("lp.solve_hot");
   PROSPECTOR_RETURN_IF_ERROR(model.Validate());
-  {
-    const size_t cells = static_cast<size_t>(model.num_rows()) *
-                         (model.num_variables() + model.num_rows());
-    if (cells * 2 * sizeof(double) > options_.max_tableau_bytes) {
-      return Status::ResourceExhausted(
-          "LP of " + std::to_string(model.num_rows()) + " rows x " +
-          std::to_string(model.num_variables() + model.num_rows()) +
-          " columns exceeds the dense-tableau memory limit; shrink the "
-          "model (e.g. fewer samples) or raise max_tableau_bytes");
-    }
-  }
+  PROSPECTOR_RETURN_IF_ERROR(
+      internal::CheckTableauBudget(model, options_.max_tableau_bytes));
 
   Solution sol;
   // An iteration-limited hot run is also retried cold: the fresh crash
@@ -1009,7 +940,20 @@ Result<Solution> SimplexSolver::SolveHot(const Model& model,
   if (!hot_ok) {
     if (!state->empty()) PROSPECTOR_COUNTER_ADD("lp.warm_fallbacks", 1);
     state->Clear();
-    return SolveImpl(model, state);
+    auto cold = SolveImpl(model, state);  // dense: captures the tableau
+    SimplexAlgorithm algo = options_.algorithm;
+    if (algo == SimplexAlgorithm::kAuto) {
+      algo = internal::ResolveAutoAlgorithm(model);
+    }
+    if (algo == SimplexAlgorithm::kDense || !cold.ok()) {
+      return cold;
+    }
+    // The returned solution must be the one a workspace-less pipeline
+    // (Solve(), i.e. the revised engine) would produce — degenerate LPs
+    // have multiple optimal vertices and the two engines may round
+    // different ones — so downstream stays bit-identical either way. The
+    // dense run above still seeds the retained tableau for hot resumes.
+    return Solve(model);
   }
   PROSPECTOR_COUNTER_ADD("lp.warm_solves", 1);
   RecordSolveMetrics(sol);
@@ -1064,20 +1008,8 @@ Basis ExtendBasis(const Basis& basis, const Model& model) {
   // solver's own initial choice.
   for (int j = basis.num_structural; j < nstruct; ++j) {
     const Variable& v = model.variable(j);
-    const bool lo_fin = v.lower != -kInfinity;
-    const bool up_fin = v.upper != kInfinity;
-    VarStatus s;
-    if (lo_fin && up_fin) {
-      s = std::abs(v.lower) <= std::abs(v.upper) ? VarStatus::kAtLower
-                                                 : VarStatus::kAtUpper;
-    } else if (lo_fin) {
-      s = VarStatus::kAtLower;
-    } else if (up_fin) {
-      s = VarStatus::kAtUpper;
-    } else {
-      s = VarStatus::kFreeAtZero;
-    }
-    out.status[j] = static_cast<unsigned char>(s);
+    out.status[j] = static_cast<unsigned char>(
+        internal::InitialRestStatus(v.lower, v.upper));
   }
   // Slack statuses move with the wider structural block.
   for (int i = 0; i < basis.num_rows; ++i) {

@@ -124,6 +124,24 @@ struct Solution {
   bool warm_started = false;
 };
 
+/// Which engine a cold Solve() runs. Both implement the same two-phase
+/// bounded-variable method with the same pricing, ratio-test, and
+/// anti-cycling rules; they differ only in how the basis inverse is
+/// carried (sparse product-form factorization vs explicit dense tableau).
+enum class SimplexAlgorithm {
+  /// Pick per model (default): the dense tableau for small or dense
+  /// constraint matrices, where its vectorized row operations beat the
+  /// revised engine's indexed gathers, and the revised engine for the
+  /// large sparse programs the planners actually emit. The choice is a
+  /// pure function of the model, so pipelines stay deterministic.
+  kAuto,
+  /// Sparse revised simplex: O(nnz)-per-pivot, falls back to the dense
+  /// oracle on numerical breakdown.
+  kRevised,
+  /// Dense tableau: the original always-available oracle.
+  kDense,
+};
+
 /// Tuning knobs; the defaults are appropriate for the LP sizes produced by
 /// the Prospector planners (up to a few thousand rows).
 struct SimplexOptions {
@@ -139,11 +157,28 @@ struct SimplexOptions {
   /// (anti-cycling); Dantzig pricing resumes once the objective improves.
   int stall_threshold = 256;
   /// Refuse (ResourceExhausted) rather than allocate a dense tableau
-  /// larger than this.
+  /// larger than this. Enforced for every algorithm — the dense oracle
+  /// must stay runnable so a cross-check can always be taken.
   size_t max_tableau_bytes = size_t{2} * 1024 * 1024 * 1024;
+  /// Engine for cold Solve() calls.
+  SimplexAlgorithm algorithm = SimplexAlgorithm::kAuto;
+  /// Revised simplex: basis pivots between product-form refactorizations.
+  /// The eta file is also rebuilt early when its fill-in outgrows the
+  /// basis dimension (see revised_simplex.cc).
+  int refactor_interval = 64;
+  /// Verify every revised Solve() against the dense oracle and return the
+  /// *dense* solution, making downstream decisions bit-identical to a
+  /// dense-only pipeline (semantics mirror SolveWarm/SolveHot
+  /// cross_check: a status or objective mismatch is a solver bug and
+  /// aborts with a diagnostic). Building with -DPROSPECTOR_LP_CROSSCHECK=ON
+  /// forces this on for every solve in the process.
+  bool cross_check = false;
 };
 
-/// Two-phase primal simplex with bounded variables on a dense tableau.
+/// Two-phase primal simplex with bounded variables, with two engines: a
+/// sparse revised simplex (the default cold path) and a dense tableau
+/// (the always-available oracle, and the only engine behind
+/// SolveWarm/SolveHot, whose retained state is the dense tableau itself).
 ///
 /// Handles general models: {<=, >=, =} rows, variable bounds including
 /// infinite and fixed ranges, free variables, minimize or maximize.
@@ -163,7 +198,30 @@ class SimplexSolver {
 
   /// Solves the model. Returns an error Status for malformed models;
   /// infeasible/unbounded outcomes are reported inside Solution.
+  /// Dispatches on options().algorithm: by default (kAuto) the engine is
+  /// chosen per model from its size and constraint-matrix density — a pure
+  /// function of the model, so repeated solves stay deterministic.
   Result<Solution> Solve(const Model& model) const;
+
+  /// The dense-tableau oracle, callable directly regardless of
+  /// options().algorithm — this is the original solver and the reference
+  /// every other path (warm, hot, revised) is checked against.
+  Result<Solution> SolveDense(const Model& model) const;
+
+  /// The sparse revised simplex: product-form factorized basis with
+  /// periodic refactorization, O(nnz)-per-pivot pricing and FTRAN/BTRAN,
+  /// same pricing / bounded-variable ratio test / Bland anti-cycling rules
+  /// as the dense engine. Numerical breakdown (a singular refactorization)
+  /// falls back to SolveDense, so the result is always well-defined.
+  ///
+  /// With `cross_check` set (or in a -DPROSPECTOR_LP_CROSSCHECK=ON build),
+  /// the model is additionally solved dense; the two runs must agree on
+  /// status and objective (a mismatch is a solver bug and aborts the
+  /// process with a diagnostic) and the *dense* solution is returned —
+  /// making every downstream decision bit-identical to a dense-only
+  /// pipeline, at the price of the speedup.
+  Result<Solution> SolveRevised(const Model& model,
+                                bool cross_check = false) const;
 
   /// Solves the model starting from `warm`, a basis captured from a prior
   /// solve of a structurally identical model (same constraint matrix;

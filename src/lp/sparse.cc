@@ -1,0 +1,76 @@
+#include "src/lp/sparse.h"
+
+namespace prospector {
+namespace lp {
+
+SparseColumns BuildEqualityColumns(const Model& model,
+                                   const std::vector<int>& artificial_rows) {
+  const int nstruct = model.num_variables();
+  const int m = model.num_rows();
+  const int nart = static_cast<int>(artificial_rows.size());
+  const int ncols = nstruct + m + nart;
+
+  SparseColumns a;
+  a.rows = m;
+  a.start.assign(ncols + 1, 0);
+
+  // Counting pass (duplicates counted; merged below).
+  for (int i = 0; i < m; ++i) {
+    for (const Term& t : model.row(i).terms) ++a.start[t.var + 1];
+  }
+  for (int i = 0; i < m; ++i) ++a.start[nstruct + i + 1];  // slacks
+  for (int k = 0; k < nart; ++k) ++a.start[nstruct + m + k + 1];
+  for (int j = 0; j < ncols; ++j) a.start[j + 1] += a.start[j];
+
+  a.row_idx.resize(a.start[ncols]);
+  a.value.resize(a.start[ncols]);
+  std::vector<int> cursor(a.start.begin(), a.start.end() - 1);
+  // Row-major fill keeps each column's entries sorted by row, with any
+  // duplicate terms of one row adjacent.
+  for (int i = 0; i < m; ++i) {
+    for (const Term& t : model.row(i).terms) {
+      const int p = cursor[t.var]++;
+      a.row_idx[p] = i;
+      a.value[p] = t.coeff;
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    const int p = cursor[nstruct + i]++;
+    a.row_idx[p] = i;
+    a.value[p] = 1.0;
+  }
+  for (int k = 0; k < nart; ++k) {
+    const int p = cursor[nstruct + m + k]++;
+    a.row_idx[p] = artificial_rows[k];
+    a.value[p] = 1.0;
+  }
+
+  // Merge duplicate (row, col) entries — same `+=` semantics as the dense
+  // assembler — and drop exact-zero sums in place.
+  size_t out = 0;
+  int prev_end = 0;
+  for (int j = 0; j < ncols; ++j) {
+    const int end = a.start[j + 1];
+    int p = prev_end;
+    prev_end = end;
+    const size_t col_begin = out;
+    while (p < end) {
+      const int row = a.row_idx[p];
+      double sum = a.value[p++];
+      while (p < end && a.row_idx[p] == row) sum += a.value[p++];
+      if (sum != 0.0) {
+        a.row_idx[out] = row;
+        a.value[out] = sum;
+        ++out;
+      }
+    }
+    a.start[j] = static_cast<int>(col_begin);
+    a.start[j + 1] = static_cast<int>(out);
+  }
+  a.row_idx.resize(out);
+  a.value.resize(out);
+  return a;
+}
+
+}  // namespace lp
+}  // namespace prospector

@@ -1,0 +1,40 @@
+#ifndef PROSPECTOR_LP_SPARSE_H_
+#define PROSPECTOR_LP_SPARSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/lp/model.h"
+
+namespace prospector {
+namespace lp {
+
+/// Column-major (CSC) sparse matrix. The planner LPs have one variable per
+/// (sample, node) but only 2-3 nonzeros per row, so storing columns — the
+/// access pattern of revised-simplex pricing (y · a_j) and FTRAN loads
+/// (scatter a_j) — turns each per-pivot pass from O(rows·cols) into
+/// O(nnz).
+struct SparseColumns {
+  int rows = 0;
+  std::vector<int> start;     ///< size cols()+1; column j is [start[j], start[j+1])
+  std::vector<int> row_idx;   ///< row index per entry, ascending within a column
+  std::vector<double> value;  ///< coefficient per entry
+
+  int cols() const { return static_cast<int>(start.size()) - 1; }
+  size_t nnz() const { return row_idx.size(); }
+};
+
+/// Builds the equality-form column matrix of `model` in CSC form:
+/// [structural | slacks | artificials]. Duplicate terms on one row are
+/// summed (the dense assembler's `+=` rule); entries that sum to exactly
+/// zero are dropped, which is equivalent to a stored 0.0. Slack columns
+/// are the identity; `artificial_rows[a]` gives the row of artificial
+/// column `num_variables + num_rows + a` (each is a +1 unit column, the
+/// dense phase-1 construction).
+SparseColumns BuildEqualityColumns(const Model& model,
+                                   const std::vector<int>& artificial_rows);
+
+}  // namespace lp
+}  // namespace prospector
+
+#endif  // PROSPECTOR_LP_SPARSE_H_

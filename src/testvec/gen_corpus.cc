@@ -350,6 +350,24 @@ Json LpCase(const std::string& name, const lp::Model& model,
       Die(name + ": generated optimum fails KKT: " + cert.ToString());
     }
   }
+  // Both engines must already agree at generation time; the replay
+  // harness re-checks this on every run, but a vector that only one
+  // engine reproduces should never be written in the first place.
+  for (const lp::SimplexAlgorithm algo :
+       {lp::SimplexAlgorithm::kDense, lp::SimplexAlgorithm::kRevised}) {
+    lp::SimplexOptions opts;
+    opts.algorithm = algo;
+    auto check = lp::SimplexSolver(opts).Solve(model);
+    if (!check.ok()) Die(name + ": " + check.status().ToString());
+    if (check->status != solved->status) {
+      Die(name + ": engine status disagreement");
+    }
+    if (solved->status == lp::SolveStatus::kOptimal &&
+        std::abs(check->objective - solved->objective) >
+            1e-7 * (1.0 + std::abs(solved->objective))) {
+      Die(name + ": engine objective disagreement");
+    }
+  }
   Json c = Json::Object();
   c.Set("name", name);
   c.Set("kind", "solve");
@@ -365,7 +383,9 @@ Json LpFile() {
   doc.Set("description",
           "Simplex optima with KKT certificates (duals + reduced costs). "
           "The stored certificate must verify against the model on its "
-          "own, and a fresh solve must reproduce status and objective.");
+          "own, and a fresh solve by each engine (dense tableau and "
+          "sparse revised simplex) must reproduce status and objective "
+          "and certify its own optimum.");
   Json cases = Json::Array();
 
   {
@@ -439,6 +459,50 @@ Json LpFile() {
     m.SetSense(lp::Sense::kMaximize);
     m.AddVariable(0, lp::kInfinity, 1, "x");
     cases.Append(LpCase("unbounded_ray", m));
+  }
+  {
+    // Beale's cycling example: every vertex of the first two rows is
+    // degenerate and Dantzig pricing alone cycles. Both engines must
+    // escape via their Bland fallback and land on -0.05.
+    lp::Model m;
+    const int x1 = m.AddVariable(0, lp::kInfinity, -0.75, "x1");
+    const int x2 = m.AddVariable(0, lp::kInfinity, 150, "x2");
+    const int x3 = m.AddVariable(0, lp::kInfinity, -0.02, "x3");
+    const int x4 = m.AddVariable(0, lp::kInfinity, 6, "x4");
+    m.AddRow(lp::RowType::kLessEqual, 0,
+             {{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, "degen_a");
+    m.AddRow(lp::RowType::kLessEqual, 0,
+             {{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, "degen_b");
+    m.AddRow(lp::RowType::kLessEqual, 1, {{x3, 1}}, "cap");
+    cases.Append(LpCase("degenerate_cycling_beale", m,
+                        "anti-cycling required; optimum -0.05"));
+  }
+  {
+    // Sparse planner-shaped LP sized past the kAuto density/size cutoffs,
+    // so the default solve (and the stored certificate) comes from the
+    // revised engine: 48 bounded variables, 62 three-term coupling rows,
+    // one dense budget row. Coefficients are small deterministic integers.
+    lp::Model m;
+    m.SetSense(lp::Sense::kMaximize);
+    std::vector<int> xs;
+    std::vector<lp::Term> budget;
+    for (int j = 0; j < 48; ++j) {
+      const double gain = 1 + (j * 7) % 13;
+      const double ub = 1 + j % 3;
+      xs.push_back(m.AddVariable(0, ub, gain, "x" + std::to_string(j)));
+      budget.push_back({xs.back(), 1.0});
+    }
+    for (int r = 0; r < 62; ++r) {
+      std::vector<lp::Term> terms;
+      for (int t = 0; t < 3; ++t) {
+        terms.push_back({xs[(r * 3 + t * 5) % 48], 1.0 + (r + t) % 4});
+      }
+      m.AddRow(lp::RowType::kLessEqual, 4 + r % 5, terms,
+               "couple" + std::to_string(r));
+    }
+    m.AddRow(lp::RowType::kLessEqual, 30, budget, "budget");
+    cases.Append(LpCase("sparse_revised_dispatch", m,
+                        "kAuto routes this shape to the revised engine"));
   }
 
   doc.Set("cases", std::move(cases));

@@ -226,27 +226,39 @@ Status ReplayLpCase(const Json& c) {
                        cert.ToString());
     }
   }
-  auto solved = lp::SimplexSolver().Solve(*model);
-  if (!solved.ok()) {
-    return CaseError("simplex rejected the model: " +
-                     solved.status().ToString());
-  }
-  if (solved->status != stored->status) {
-    return CaseError(std::string("solver status ") +
-                     lp::ToString(solved->status) + " != vector status " +
-                     lp::ToString(stored->status));
-  }
-  if (stored->status != lp::SolveStatus::kOptimal) return Status::OK();
-  if (std::abs(solved->objective - stored->objective) > objective_tol) {
-    return CaseError("solver objective " + std::to_string(solved->objective) +
-                     " != vector objective " +
-                     std::to_string(stored->objective));
-  }
-  // The fresh solve must also certify — optima may be non-unique, so the
-  // primal points are not compared, but both must be provably optimal.
-  if (const Status cert = lp::VerifyKkt(*model, *solved, kkt_tol);
-      !cert.ok()) {
-    return CaseError("fresh solve fails KKT: " + cert.ToString());
+  // Every vector is replayed through BOTH engines — the dense tableau
+  // oracle and the sparse revised simplex — and each must reproduce the
+  // stored status and objective and certify its own optimum. Optima may be
+  // non-unique, so primal points are not compared across engines; KKT is
+  // the engine-independent proof of optimality.
+  for (const lp::SimplexAlgorithm algo :
+       {lp::SimplexAlgorithm::kDense, lp::SimplexAlgorithm::kRevised}) {
+    lp::SimplexOptions opts;
+    opts.algorithm = algo;
+    const char* engine =
+        algo == lp::SimplexAlgorithm::kDense ? "dense" : "revised";
+    auto solved = lp::SimplexSolver(opts).Solve(*model);
+    if (!solved.ok()) {
+      return CaseError(std::string(engine) + " simplex rejected the model: " +
+                       solved.status().ToString());
+    }
+    if (solved->status != stored->status) {
+      return CaseError(std::string(engine) + " solver status " +
+                       lp::ToString(solved->status) + " != vector status " +
+                       lp::ToString(stored->status));
+    }
+    if (stored->status != lp::SolveStatus::kOptimal) continue;
+    if (std::abs(solved->objective - stored->objective) > objective_tol) {
+      return CaseError(std::string(engine) + " solver objective " +
+                       std::to_string(solved->objective) +
+                       " != vector objective " +
+                       std::to_string(stored->objective));
+    }
+    if (const Status cert = lp::VerifyKkt(*model, *solved, kkt_tol);
+        !cert.ok()) {
+      return CaseError(std::string(engine) + " fresh solve fails KKT: " +
+                       cert.ToString());
+    }
   }
   return Status::OK();
 }

@@ -63,9 +63,11 @@ void ExpectSamePlan(const QueryPlan& a, const QueryPlan& b,
   EXPECT_EQ(a.chosen, b.chosen) << where;
 }
 
-std::unique_ptr<Planner> MakePlanner(int which, int threads) {
+std::unique_ptr<Planner> MakePlanner(int which, int threads,
+                                     lp::SimplexOptions simplex = {}) {
   LpPlannerOptions lp;
   lp.threads = threads;
+  lp.simplex = simplex;
   switch (which) {
     case 0:
       return std::make_unique<GreedyPlanner>(GreedyPlannerOptions{threads});
@@ -189,6 +191,51 @@ TEST(WorkspaceIdentityTest, AllPlannersBitIdenticalSerial) {
 
 TEST(WorkspaceIdentityTest, AllPlannersBitIdenticalPooled) {
   RunIdentitySweep(/*threads=*/4);
+}
+
+// The acceptance gate for the revised simplex engine: every planner run
+// with the dense oracle forced and with the revised engine forced (per
+// solve cross-check on, so any status/objective divergence aborts inside
+// the solver) must reach the same LP objective. In a
+// -DPROSPECTOR_LP_CROSSCHECK=ON build, where every revised solve returns
+// the dense oracle's solution, the plans themselves are bit-identical —
+// a degenerate LP cannot round an alternate vertex into a different plan.
+TEST(WorkspaceIdentityTest, PlansAgreeAcrossSimplexEnginesUnderCrossCheck) {
+  for (int which = 0; which < 4; ++which) {
+    Instance inst = MakeInstance(40, 6, 12, 400 + which);
+
+    lp::SimplexOptions dense_opts;
+    dense_opts.algorithm = lp::SimplexAlgorithm::kDense;
+    lp::SimplexOptions revised_opts;
+    revised_opts.algorithm = lp::SimplexAlgorithm::kRevised;
+    revised_opts.cross_check = true;
+
+    auto dense_planner = MakePlanner(which, /*threads=*/0, dense_opts);
+    auto revised_planner = MakePlanner(which, /*threads=*/0, revised_opts);
+
+    const double budget =
+        which == 3 ? ProofPlanner::MinimumCost(inst.ctx) * 1.6 : 9.0;
+    PlanRequest request{6, budget};
+
+    auto dense_plan = dense_planner->Plan(inst.ctx, inst.samples, request);
+    auto revised_plan = revised_planner->Plan(inst.ctx, inst.samples, request);
+    ASSERT_TRUE(dense_plan.ok()) << dense_plan.status().ToString();
+    ASSERT_TRUE(revised_plan.ok()) << revised_plan.status().ToString();
+
+    const std::string where = "planner " + std::string(dense_planner->name());
+    if (which == 0) {
+      // No LP in greedy: engine choice cannot matter.
+      ExpectSamePlan(*dense_plan, *revised_plan, where);
+      continue;
+    }
+    const double dense_obj = LastLpObjective(dense_planner.get(), which);
+    const double revised_obj = LastLpObjective(revised_planner.get(), which);
+    EXPECT_NEAR(revised_obj, dense_obj, 1e-6 * (1.0 + std::abs(dense_obj)))
+        << where;
+#ifdef PROSPECTOR_LP_CROSSCHECK
+    ExpectSamePlan(*dense_plan, *revised_plan, where);
+#endif
+  }
 }
 
 TEST(WorkspaceIdentityTest, PlanSweepIdenticalWithWorkspace) {

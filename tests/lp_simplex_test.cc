@@ -160,9 +160,10 @@ TEST(SimplexTest, DuplicateTermsAreSummed) {
   EXPECT_NEAR(s.values[x], 3.0, 1e-8);
 }
 
-TEST(SimplexTest, DegenerateProblemTerminates) {
-  // Beale's classic cycling example (with Dantzig pricing simplex can
-  // cycle); the Bland fallback must guarantee termination.
+// Beale's classic cycling example: every basic feasible solution of the
+// first two rows is degenerate, and with Dantzig pricing the simplex
+// method cycles forever. Optimum is -0.05 (minimizing).
+Model BealeCyclingModel() {
   Model m;
   int x1 = m.AddVariable(0.0, kInfinity, -0.75, "x1");
   int x2 = m.AddVariable(0.0, kInfinity, 150.0, "x2");
@@ -173,9 +174,82 @@ TEST(SimplexTest, DegenerateProblemTerminates) {
   m.AddRow(RowType::kLessEqual, 0.0,
            {{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}});
   m.AddRow(RowType::kLessEqual, 1.0, {{x3, 1.0}});
-  Solution s = MustSolve(m);
+  return m;
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // The Bland fallback must guarantee termination (default kAuto dispatch).
+  Solution s = MustSolve(BealeCyclingModel());
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, -0.05, 1e-8);
+}
+
+TEST(SimplexTest, DegenerateCyclingModelTerminatesUnderBothEngines) {
+  // Both engines, forced explicitly (the model is small enough that kAuto
+  // would send it to the dense tableau), with a stall threshold low enough
+  // that the Bland fallback engages within a few degenerate pivots, and a
+  // refactorization interval small enough that the revised engine rebuilds
+  // its eta file mid-solve. Both must terminate at the same optimum.
+  const Model m = BealeCyclingModel();
+  SimplexOptions dense_opts;
+  dense_opts.algorithm = SimplexAlgorithm::kDense;
+  dense_opts.stall_threshold = 2;
+  SimplexOptions revised_opts;
+  revised_opts.algorithm = SimplexAlgorithm::kRevised;
+  revised_opts.stall_threshold = 2;
+  revised_opts.refactor_interval = 3;
+  Solution dense = MustSolve(m, dense_opts);
+  Solution revised = MustSolve(m, revised_opts);
+  ASSERT_EQ(dense.status, SolveStatus::kOptimal);
+  ASSERT_EQ(revised.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(dense.objective, -0.05, 1e-8);
+  EXPECT_NEAR(revised.objective, dense.objective, 1e-8);
+}
+
+TEST(SimplexTest, RevisedCrossCheckMatchesDenseOnRandomLps) {
+  // cross_check makes every revised solve also run the dense oracle and
+  // abort on divergence — a successful Solve() IS the agreement check.
+  // The objectives are additionally compared here, and in a
+  // -DPROSPECTOR_LP_CROSSCHECK=ON build the returned solution must be the
+  // dense oracle's, bit for bit.
+  Rng rng(0x5ca1e);
+  for (int trial = 0; trial < 12; ++trial) {
+    Model m;
+    m.SetSense(Sense::kMaximize);
+    const int nvars = 12;
+    std::vector<int> xs;
+    for (int v = 0; v < nvars; ++v) {
+      xs.push_back(
+          m.AddVariable(0.0, rng.Uniform(0.5, 2.0), rng.Uniform(-1.0, 1.0)));
+    }
+    for (int r = 0; r < 8; ++r) {
+      std::vector<Term> terms;
+      for (int v = 0; v < nvars; ++v) {
+        if (rng.NextDouble() < 0.4) terms.push_back({xs[v], rng.Uniform(-1.0, 2.0)});
+      }
+      // Nonnegative rhs keeps x = 0 feasible: every trial is kOptimal.
+      m.AddRow(RowType::kLessEqual, rng.Uniform(0.5, 3.0), terms);
+    }
+    SimplexOptions dense_opts;
+    dense_opts.algorithm = SimplexAlgorithm::kDense;
+    SimplexOptions checked_opts;
+    checked_opts.algorithm = SimplexAlgorithm::kRevised;
+    checked_opts.cross_check = true;
+    Solution dense = MustSolve(m, dense_opts);
+    Solution checked = MustSolve(m, checked_opts);
+    ASSERT_EQ(checked.status, dense.status) << "trial=" << trial;
+    ASSERT_EQ(dense.status, SolveStatus::kOptimal) << "trial=" << trial;
+    EXPECT_NEAR(checked.objective, dense.objective,
+                1e-7 * (1.0 + std::fabs(dense.objective)))
+        << "trial=" << trial;
+#ifdef PROSPECTOR_LP_CROSSCHECK
+    ASSERT_EQ(checked.values.size(), dense.values.size());
+    for (size_t i = 0; i < dense.values.size(); ++i) {
+      EXPECT_EQ(checked.values[i], dense.values[i])
+          << "trial=" << trial << " var=" << i;
+    }
+#endif
+  }
 }
 
 TEST(SimplexTest, ValidateRejectsBadVariableIndex) {

@@ -109,6 +109,16 @@ def diff_artifact(name, old, new, tol, seed_strict, out):
                       else " (note: different RNG streams)"))
         if seed_strict:
             ok = False
+    # Host facts are provenance, not configuration: differing values never
+    # fail the diff, but they explain otherwise-alarming deltas (e.g. a
+    # parallel speedup < 1 on a 1-core runner), so surface them.
+    host_old = old.get("host", {})
+    host_new = new.get("host", {})
+    for key in sorted(set(host_old) | set(host_new)):
+        a, b = host_old.get(key), host_new.get(key)
+        if a != b:
+            out.append(f"{name}: host {key} {a} != {b} (note: different "
+                       "machines; machine-dependent columns may move)")
 
     old_tables = tables_of(old)
     new_tables = tables_of(new)
